@@ -1,0 +1,515 @@
+package sqlarray
+
+// One benchmark per experiment row of DESIGN.md §4. Run with
+//
+//	go test -bench=. -benchmem
+//
+// E1-E5  BenchmarkTable1Query{1..5}   — the five §6.3 queries
+// E6     BenchmarkUDFBoundary*        — per-call boundary cost
+// E7     (TestTable1StorageOverhead)  — size ratio, plus BenchmarkRowDecode
+// E8     BenchmarkStorageClass*, BenchmarkSubarray*
+// E9     BenchmarkFFT*, BenchmarkSVD* — math-library amortization
+// E10    BenchmarkTurbulence*         — stencil service vs blob size
+// E11    BenchmarkSpectraPipeline     — resample/composite/PCA path
+// E12    BenchmarkNBody*              — bucket store, FOF, CIC+P(k)
+
+import (
+	"math/rand"
+	"testing"
+
+	"sqlarray/internal/core"
+	"sqlarray/internal/engine"
+	"sqlarray/internal/fft"
+	"sqlarray/internal/interp"
+	"sqlarray/internal/lapack"
+	"sqlarray/internal/nbody"
+	"sqlarray/internal/spectra"
+	"sqlarray/internal/turbulence"
+)
+
+// ---- E1-E5: Table 1 ---------------------------------------------------
+
+var table1DB *Database
+
+func table1Setup(b *testing.B) *Database {
+	b.Helper()
+	if table1DB == nil {
+		db := NewDatabase()
+		if err := SetupTable1(db, 100_000); err != nil {
+			b.Fatal(err)
+		}
+		table1DB = db
+	}
+	return table1DB
+}
+
+func benchTable1Query(b *testing.B, qi int) {
+	db := table1Setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if err := db.DropCleanBuffers(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := db.Query(Table1Queries[qi]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100_000, "rows/op")
+}
+
+func BenchmarkTable1Query1CountScalar(b *testing.B) { benchTable1Query(b, 0) }
+func BenchmarkTable1Query2CountVector(b *testing.B) { benchTable1Query(b, 1) }
+func BenchmarkTable1Query3SumScalar(b *testing.B)   { benchTable1Query(b, 2) }
+func BenchmarkTable1Query4SumItemUDF(b *testing.B)  { benchTable1Query(b, 3) }
+func BenchmarkTable1Query5SumEmptyUDF(b *testing.B) { benchTable1Query(b, 4) }
+
+// ---- E6: the boundary itself -------------------------------------------
+
+func BenchmarkUDFBoundaryEmptyCall(b *testing.B) {
+	reg := engine.NewFuncRegistry()
+	reg.Register("dbo.empty", 2, func(args []engine.Value) (engine.Value, error) {
+		return engine.FloatValue(0), nil
+	})
+	def, err := reg.Lookup("dbo.empty")
+	if err != nil {
+		b.Fatal(err)
+	}
+	blob := core.Vector(1, 2, 3, 4, 5).Bytes()
+	args := []engine.Value{engine.BinaryValue(blob), engine.IntValue(0)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.Call(def, args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUDFBoundaryItemCall(b *testing.B) {
+	db := NewDatabase()
+	def, err := db.Funcs().Lookup("floatarray.item_1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	blob := core.Vector(1, 2, 3, 4, 5).Bytes()
+	args := []engine.Value{engine.BinaryValue(blob), engine.IntValue(0)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Funcs().Call(def, args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUDFNativeItem is the no-boundary baseline: the same item
+// extraction called directly, showing what the CLR-style crossing adds.
+func BenchmarkUDFNativeItem(b *testing.B) {
+	a := core.Vector(1, 2, 3, 4, 5)
+	sum := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum += a.FloatAt(0)
+	}
+	_ = sum
+}
+
+// ---- E7: row decoding with and without the array column -----------------
+
+func BenchmarkConcatUDAvsDirect(b *testing.B) {
+	db := NewDatabase()
+	s, err := engine.NewSchema(
+		engine.Column{Name: "id", Type: engine.ColInt64},
+		engine.Column{Name: "x", Type: engine.ColFloat64},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := db.CreateTable("agg", s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := int64(0); i < 20_000; i++ {
+		if err := tbl.Insert([]engine.Value{engine.IntValue(i), engine.FloatValue(float64(i))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	agg := &benchSumAgg{}
+	b.Run("UDAProtocol", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := engine.RunAggregateUDA(tbl, 1, agg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("DirectFunction", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := engine.RunAggregateDirect(tbl, 1, agg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchSumAgg is a minimal serializable SUM aggregate.
+type benchSumAgg struct{ sum float64 }
+
+func (a *benchSumAgg) Init() { a.sum = 0 }
+func (a *benchSumAgg) Accumulate(v engine.Value) error {
+	f, err := v.AsFloat()
+	if err != nil {
+		return err
+	}
+	a.sum += f
+	return nil
+}
+func (a *benchSumAgg) Terminate() (engine.Value, error) { return engine.FloatValue(a.sum), nil }
+func (a *benchSumAgg) Serialize(dst []byte) []byte {
+	var b [8]byte
+	core.Vector(a.sum) // realistic state-serialization work
+	return append(append(dst, b[:]...), 0)
+}
+func (a *benchSumAgg) Deserialize(src []byte) error { return nil }
+
+// ---- E8: storage classes and partial reads ------------------------------
+
+func BenchmarkStorageClassShortItem(b *testing.B) {
+	a, err := core.New(core.Short, core.Float64, 31, 31) // page-sized
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Item(i%31, (i/31)%31); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStorageClassMaxItem(b *testing.B) {
+	a, err := core.New(core.Max, core.Float64, 512, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Item(i%512, (i/512)%512); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSubarray(b *testing.B, collapse bool) {
+	a, err := core.New(core.Max, core.Float64, 128, 128, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	off := []int{10, 20, 30}
+	size := []int{8, 8, 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Subarray(off, size, collapse); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubarray8Cube(b *testing.B) { benchSubarray(b, false) }
+
+// BenchmarkSubarrayPartialVsWholeBlob measures E8's stored-blob variant
+// through the turbulence service, which drives blob.ReadRuns.
+func BenchmarkSubarrayPartialVsWholeBlob(b *testing.B) {
+	f, err := turbulence.GenerateField(32, 12, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := engine.NewDB(engine.Options{PoolPages: 4096})
+	st, err := turbulence.CreateStore(db, "turb", f, 32, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pt := [][3]float64{{11.3, 21.8, 6.4}}
+	for _, mode := range []turbulence.FetchMode{turbulence.WholeBlob, turbulence.PartialRead} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if err := st.DropCache(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := st.VelocityBatch(0, pt, interp.Lag8, mode); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- E9: math library amortization --------------------------------------
+
+func BenchmarkFFTViaArray(b *testing.B) {
+	data := make([]float64, 4096)
+	for i := range data {
+		data[i] = float64(i % 17)
+	}
+	a, err := core.FromFloat64s(core.Max, core.Float64, data, len(data))
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := NewDatabase()
+	def, err := db.Funcs().Lookup("floatarraymax.fftforward")
+	if err != nil {
+		b.Fatal(err)
+	}
+	args := []engine.Value{engine.BinaryMaxValue(a.Bytes())}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Funcs().Call(def, args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFFTRawSlice(b *testing.B) {
+	data := make([]complex128, 4096)
+	for i := range data {
+		data[i] = complex(float64(i%17), 0)
+	}
+	plan, err := fft.NewPlan(len(data), fft.Forward)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]complex128, len(data))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := plan.Execute(dst, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSVDViaArray(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 48
+	data := make([]float64, n*n)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	a, err := core.FromFloat64s(core.Max, core.Float64, data, n, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := NewDatabase()
+	def, err := db.Funcs().Lookup("floatarraymax.svdvalues")
+	if err != nil {
+		b.Fatal(err)
+	}
+	args := []engine.Value{engine.BinaryMaxValue(a.Bytes())}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Funcs().Call(def, args); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSVDRawMatrix(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 48
+	m := lapack.NewMat(n, n)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lapack.SVD(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E10: turbulence service vs blob size --------------------------------
+
+func BenchmarkTurbulenceInterpBlobSize(b *testing.B) {
+	f, err := turbulence.GenerateField(32, 12, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	pts := make([][3]float64, 64)
+	for i := range pts {
+		pts[i] = [3]float64{rng.Float64() * 32, rng.Float64() * 32, rng.Float64() * 32}
+	}
+	for _, cube := range []int{8, 16, 32} {
+		cube := cube
+		b.Run("cube"+itoa(cube), func(b *testing.B) {
+			db := engine.NewDB(engine.Options{PoolPages: 8192})
+			st, err := turbulence.CreateStore(db, "turb", f, cube, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if err := st.DropCache(); err != nil {
+					b.Fatal(err)
+				}
+				st.ResetStats()
+				b.StartTimer()
+				if _, err := st.VelocityBatch(0, pts, interp.Lag8, turbulence.WholeBlob); err != nil {
+					b.Fatal(err)
+				}
+			}
+			st2 := st.Stats()
+			b.ReportMetric(float64(st2.BytesRead)/float64(len(pts)), "bytes/point")
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// ---- E11: spectrum pipeline ----------------------------------------------
+
+func BenchmarkSpectraPipeline(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	specs := make([]*spectra.Spectrum, 32)
+	for i := range specs {
+		s, err := spectra.Synthesize(rng, spectra.SynthesisParams{
+			Bins: 180, LoWave: 3800, HiWave: 7000, Z: 0.03, SNR: 30,
+			BadFrac: 0.01, LineSeed: int64(i % 4),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.ID = int64(i)
+		specs[i] = s
+	}
+	grid, err := spectra.LogGrid(4000, 6900, 120)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		basis, err := spectra.PCA(specs, grid, 5, 4300, 6500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ix, err := spectra.BuildSearchIndex(basis, specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ix.Similar(specs[7], 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpectraResample(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	s, err := spectra.Synthesize(rng, spectra.SynthesisParams{
+		Bins: 1000, LoWave: 3800, HiWave: 9000, Z: 0.05, SNR: 30, LineSeed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid, err := spectra.LogGrid(4200, 8500, 700)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spectra.Resample(s, grid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E12: N-body ----------------------------------------------------------
+
+func BenchmarkNBodyBucketIngest(b *testing.B) {
+	snap, err := nbody.GenerateSnapshot(nbody.GenParams{
+		N: 20_000, NHalos: 6, HaloFrac: 0.5, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db := engine.NewDB(engine.Options{PoolPages: 16384})
+		if _, err := nbody.CreateBucketStore(db, "parts", snap, 2000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNBodyFOF(b *testing.B) {
+	snap, err := nbody.GenerateSnapshot(nbody.GenParams{
+		N: 20_000, NHalos: 6, HaloFrac: 0.5, Seed: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nbody.FOF(snap.Particles, 0.01, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNBodyCICPowerSpectrum(b *testing.B) {
+	snap, err := nbody.GenerateSnapshot(nbody.GenParams{
+		N: 20_000, NHalos: 6, HaloFrac: 0.5, Seed: 9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nbody.PowerSpectrum(snap.Particles, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Design-choice ablation: column-major marshaling ----------------------
+
+// BenchmarkMajorOrder shows what the column-major storage decision buys:
+// handing a stored matrix to the LAPACK-style layer is a straight copy,
+// while a row-major store would transpose.
+func BenchmarkMajorOrder(b *testing.B) {
+	const n = 256
+	data := make([]float64, n*n)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	b.Run("ColumnMajorCopy", func(b *testing.B) {
+		dst := make([]float64, n*n)
+		for i := 0; i < b.N; i++ {
+			copy(dst, data)
+		}
+	})
+	b.Run("RowMajorTranspose", func(b *testing.B) {
+		dst := make([]float64, n*n)
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < n; r++ {
+				for c := 0; c < n; c++ {
+					dst[c*n+r] = data[r*n+c]
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,112 @@
+// Command arraytool is a small inspector for the array blob format:
+// it parses the bracketed text form, prints the header, and can apply
+// reshape/subarray/reduce operations — a command-line tour of the §5.1
+// function surface.
+//
+//	go run ./cmd/arraytool -parse '[[1,2,3],[4,5,6]]' -reshape 3,2 -sum
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sqlarray"
+)
+
+func parseDims(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad dimension %q", p)
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "arraytool:", err)
+	os.Exit(1)
+}
+
+func main() {
+	text := flag.String("parse", "", "array literal, e.g. '[[1,2],[3,4]]'")
+	elem := flag.String("type", "float", "element type: tinyint|smallint|int|bigint|real|float|complex|doublecomplex")
+	reshape := flag.String("reshape", "", "reshape to comma-separated dims")
+	subOff := flag.String("suboff", "", "subarray offset (with -subsize)")
+	subSize := flag.String("subsize", "", "subarray size")
+	collapse := flag.Bool("collapse", false, "collapse unit dims in subarray")
+	sum := flag.Bool("sum", false, "print SUM/AVG/MIN/MAX of the result")
+	hex := flag.Bool("hex", false, "print the serialized blob in hex")
+	flag.Parse()
+
+	if *text == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	et, err := sqlarray.Float64, error(nil)
+	if *elem != "float" {
+		et, err = elemByName(*elem)
+		if err != nil {
+			fail(err)
+		}
+	}
+	a, err := sqlarray.Parse(et, *text)
+	if err != nil {
+		fail(err)
+	}
+	if *reshape != "" {
+		dims, err := parseDims(*reshape)
+		if err != nil {
+			fail(err)
+		}
+		if a, err = a.Reshape(dims...); err != nil {
+			fail(err)
+		}
+	}
+	if *subOff != "" || *subSize != "" {
+		off, err := parseDims(*subOff)
+		if err != nil {
+			fail(err)
+		}
+		size, err := parseDims(*subSize)
+		if err != nil {
+			fail(err)
+		}
+		if a, err = a.Subarray(off, size, *collapse); err != nil {
+			fail(err)
+		}
+	}
+	h := a.Header()
+	fmt.Printf("header:  %s\n", h.String())
+	fmt.Printf("bytes:   %d (header %d + payload %d)\n",
+		h.TotalBytes(), h.EncodedSize(), h.DataBytes())
+	fmt.Printf("value:   %s\n", sqlarray.Format(a))
+	if *sum {
+		lo, hi := a.MinMax()
+		fmt.Printf("sum=%g avg=%g min=%g max=%g std=%g\n", a.Sum(), a.Mean(), lo, hi, a.Std())
+	}
+	if *hex {
+		fmt.Printf("blob:    %x\n", a.Bytes())
+	}
+}
+
+func elemByName(name string) (sqlarray.ElemType, error) {
+	for _, et := range []sqlarray.ElemType{
+		sqlarray.Int8, sqlarray.Int16, sqlarray.Int32, sqlarray.Int64,
+		sqlarray.Float32, sqlarray.Float64, sqlarray.Complex64, sqlarray.Complex128,
+	} {
+		if et.String() == name {
+			return et, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown element type %q", name)
+}

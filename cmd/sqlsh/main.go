@@ -1,0 +1,108 @@
+// Command sqlsh is an interactive shell for the sqlarray dialect: it
+// creates a database with the full T-SQL array surface registered, a
+// demo table, and executes one SELECT per line. Array-subscript sugar
+// (§8) is enabled with the \col meta command.
+//
+//	go run ./cmd/sqlsh
+//	sql> SELECT FloatArray.Sum(FloatArray.Vector_3(1,2,3)) FROM dual
+//	sql> \col v FloatArray
+//	sql> SELECT v[0], v[1:3] FROM demo WHERE id < 3
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"sqlarray"
+	"sqlarray/internal/core"
+	"sqlarray/internal/engine"
+)
+
+func main() {
+	db := sqlarray.NewDatabase()
+	if err := createDemoTable(db); err != nil {
+		fmt.Fprintln(os.Stderr, "sqlsh:", err)
+		os.Exit(1)
+	}
+	cols := sqlarray.ArrayColumns{}
+	fmt.Println(`sqlarray shell — one SELECT per line; \col <name> <schema> maps a column for
+subscript sugar; \q quits. A table "demo"(id BIGINT, v VARBINARY short float
+5-vector) is preloaded with 10 rows.`)
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("sql> ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\q` || line == "exit" || line == "quit":
+			return
+		case strings.HasPrefix(line, `\col `):
+			parts := strings.Fields(line)
+			if len(parts) != 3 {
+				fmt.Println(`usage: \col <column> <schema>, e.g. \col v FloatArray`)
+				continue
+			}
+			cols[parts[1]] = parts[2]
+			fmt.Printf("mapped %s -> %s\n", parts[1], parts[2])
+			continue
+		}
+		res, err := db.QueryArray(line, cols)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		printResult(res)
+	}
+}
+
+func createDemoTable(db *sqlarray.Database) error {
+	s, err := engine.NewSchema(
+		engine.Column{Name: "id", Type: engine.ColInt64},
+		engine.Column{Name: "v", Type: engine.ColVarBinary},
+	)
+	if err != nil {
+		return err
+	}
+	tbl, err := db.CreateTable("demo", s)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 10; i++ {
+		x := float64(i)
+		a := sqlarray.Vector(x, 10*x, 100*x, x*x, 1)
+		if err := tbl.Insert([]engine.Value{
+			engine.IntValue(int64(i)), engine.BinaryValue(a.Bytes()),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printResult(res *sqlarray.Result) {
+	fmt.Println(strings.Join(res.Columns, " | "))
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = renderValue(v)
+		}
+		fmt.Println(strings.Join(cells, " | "))
+	}
+	fmt.Printf("(%d row(s))\n", len(res.Rows))
+}
+
+// renderValue pretty-prints binary cells that hold valid arrays.
+func renderValue(v engine.Value) string {
+	if v.Kind == engine.ColVarBinary || v.Kind == engine.ColVarBinaryMax {
+		if a, err := core.Wrap(v.B); err == nil {
+			return core.Format(a)
+		}
+	}
+	return v.String()
+}

@@ -1,0 +1,91 @@
+// Command udfcost isolates the UDF-boundary cost of §7.1 with direct
+// micro-measurements: empty call, item-extraction call, and the native
+// (no-boundary) baseline, at several argument sizes.
+//
+//	go run ./cmd/udfcost -calls 2000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sqlarray"
+	"sqlarray/internal/core"
+	"sqlarray/internal/engine"
+)
+
+func measure(label string, calls int, f func() error) (time.Duration, error) {
+	start := time.Now()
+	for i := 0; i < calls; i++ {
+		if err := f(); err != nil {
+			return 0, fmt.Errorf("%s: %w", label, err)
+		}
+	}
+	total := time.Since(start)
+	per := total / time.Duration(calls)
+	fmt.Printf("  %-28s %10v/call   (%v total)\n", label, per, total.Round(time.Millisecond))
+	return per, nil
+}
+
+func main() {
+	calls := flag.Int("calls", 1_000_000, "boundary crossings per measurement")
+	flag.Parse()
+
+	db := sqlarray.NewDatabase()
+	db.Funcs().Register("dbo.EmptyFunction", 2, func(args []engine.Value) (engine.Value, error) {
+		return engine.FloatValue(0), nil
+	})
+	emptyDef, err := db.Funcs().Lookup("dbo.EmptyFunction")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	itemDef, err := db.Funcs().Lookup("floatarray.item_1")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("UDF boundary cost, %d calls each (paper §7.1: ~2 us/call on the 2008 CLR)\n\n", *calls)
+	for _, n := range []int{5, 100, 997} {
+		vals := make([]float64, n)
+		arr, err := core.FromFloat64s(core.Short, core.Float64, vals, n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		args := []engine.Value{engine.BinaryValue(arr.Bytes()), engine.IntValue(0)}
+		fmt.Printf("argument: %d-element float vector (%d bytes)\n", n, len(arr.Bytes()))
+		perEmpty, err := measure("empty UDF", *calls, func() error {
+			_, err := db.Funcs().Call(emptyDef, args)
+			return err
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		perItem, err := measure("Item_1 UDF", *calls, func() error {
+			_, err := db.Funcs().Call(itemDef, args)
+			return err
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		sum := 0.0
+		for i := 0; i < *calls; i++ {
+			sum += arr.FloatAt(0)
+		}
+		perNative := time.Since(start) / time.Duration(*calls)
+		_ = sum
+		fmt.Printf("  %-28s %10v/call\n", "native item (no boundary)", perNative)
+		if perItem > 0 {
+			fmt.Printf("  boundary share of Item call: %.0f %%   extraction vs empty: %+.0f %%\n\n",
+				100*float64(perEmpty)/float64(perItem),
+				100*(float64(perItem)-float64(perEmpty))/float64(perEmpty))
+		}
+	}
+}

@@ -1,0 +1,19 @@
+//go:build linux
+
+package sqlarray
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPUTime returns the cumulative user+system CPU time of this
+// process — the measurement behind the paper's "CPU load" column.
+func processCPUTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Sec+ru.Stime.Sec)*time.Second +
+		time.Duration(ru.Utime.Usec+ru.Stime.Usec)*time.Microsecond
+}

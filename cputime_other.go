@@ -1,0 +1,11 @@
+//go:build !linux
+
+package sqlarray
+
+import "time"
+
+// processCPUTime falls back to wall-clock time on platforms without
+// rusage; single-threaded queries make the two nearly equal.
+var processStart = time.Now()
+
+func processCPUTime() time.Duration { return time.Since(processStart) }

@@ -1,0 +1,131 @@
+package arraysugar
+
+import (
+	"strings"
+	"testing"
+)
+
+var cols = Columns{
+	"v": "FloatArray",
+	"m": "FloatArray",
+	"c": "FloatArrayMax",
+	"w": "IntArray",
+}
+
+func translate(t *testing.T, q string) string {
+	t.Helper()
+	out, err := Translate(q, cols)
+	if err != nil {
+		t.Fatalf("Translate(%q): %v", q, err)
+	}
+	return out
+}
+
+func TestItemAccess(t *testing.T) {
+	got := translate(t, "SELECT v[3] FROM t")
+	want := "SELECT FloatArray.Item_1(v, 3) FROM t"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestMultiDimItem(t *testing.T) {
+	got := translate(t, "SELECT m[1, 0] FROM t")
+	want := "SELECT FloatArray.Item_2(m, 1, 0) FROM t"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	got := translate(t, "SELECT v[1:4] FROM t")
+	want := "SELECT FloatArray.Subarray(v, IntArray.Vector_1(1), IntArray.Vector_1((4)-(1)), 1) FROM t"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestMixedIndexAndSlice(t *testing.T) {
+	got := translate(t, "SELECT c[2, 0:3] FROM t")
+	want := "SELECT FloatArrayMax.Subarray(c, IntArray.Vector_2(2, 0), IntArray.Vector_2(1, (3)-(0)), 1) FROM t"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestExpressionsInsideSubscript(t *testing.T) {
+	got := translate(t, "SELECT v[1 + 2] FROM t")
+	if got != "SELECT FloatArray.Item_1(v, 1 + 2) FROM t" {
+		t.Errorf("got %q", got)
+	}
+	// Nested subscripts: the index is itself a subscripted column.
+	got = translate(t, "SELECT v[w[0]] FROM t")
+	if got != "SELECT FloatArray.Item_1(v, IntArray.Item_1(w, 0)) FROM t" {
+		t.Errorf("nested: %q", got)
+	}
+}
+
+func TestMultipleSubscriptsInOneQuery(t *testing.T) {
+	got := translate(t, "SELECT v[0] + v[1], m[0,0] FROM t WHERE v[2] > 1")
+	for _, want := range []string{
+		"FloatArray.Item_1(v, 0)",
+		"FloatArray.Item_1(v, 1)",
+		"FloatArray.Item_2(m, 0, 0)",
+		"FloatArray.Item_1(v, 2) > 1",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in %q", want, got)
+		}
+	}
+}
+
+func TestStringsAndCommentsUntouched(t *testing.T) {
+	got := translate(t, "SELECT 'v[3]' FROM t -- v[9] in comment")
+	if !strings.Contains(got, "'v[3]'") || !strings.Contains(got, "-- v[9] in comment") {
+		t.Errorf("literal/comment rewritten: %q", got)
+	}
+	// Escaped quotes inside strings.
+	got = translate(t, "SELECT 'it''s v[1]' FROM t")
+	if !strings.Contains(got, "'it''s v[1]'") {
+		t.Errorf("escaped string rewritten: %q", got)
+	}
+}
+
+func TestNoSugarPassThrough(t *testing.T) {
+	q := "SELECT COUNT(*) FROM Tscalar WITH (NOLOCK)"
+	if got := translate(t, q); got != q {
+		t.Errorf("pass-through changed: %q", got)
+	}
+}
+
+func TestCaseInsensitiveColumnLookup(t *testing.T) {
+	got := translate(t, "SELECT V[0] FROM t")
+	if !strings.Contains(got, "FloatArray.Item_1(V, 0)") {
+		t.Errorf("case-insensitive lookup failed: %q", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{
+		"SELECT unknown[0] FROM t",       // unmapped column
+		"SELECT v[0 FROM t",              // unbalanced bracket
+		"SELECT v[] FROM t",              // empty subscript
+		"SELECT v[1:2:3] FROM t",         // double colon
+		"SELECT v[1,] FROM t",            // empty dimension
+		"SELECT v[:3] FROM t",            // missing lower bound
+		"SELECT v[1,2,3,4,5,6,7] FROM t", // rank 7
+		"SELECT 'open FROM t",            // unterminated string
+	}
+	for _, q := range bad {
+		if _, err := Translate(q, cols); err == nil {
+			t.Errorf("query %q should fail", q)
+		}
+	}
+}
+
+func TestWhitespaceBeforeBracket(t *testing.T) {
+	got := translate(t, "SELECT v [3] FROM t")
+	if !strings.Contains(got, "FloatArray.Item_1(v, 3)") {
+		t.Errorf("spaced subscript: %q", got)
+	}
+}

@@ -1,0 +1,306 @@
+// Package blob implements out-of-page binary large object storage for the
+// sqlarray engine, mirroring SQL Server's VARBINARY(MAX) handling that the
+// paper builds on (§3.3): blobs larger than a data page are stored outside
+// the row as a tree of chunk pages, reached through a stream wrapper that
+// "supports reading only parts of the binary data if the whole array is
+// not required" — the property that makes subsetting max arrays cheap.
+//
+// Layout: a blob is a chain of directory pages (TypeBlobTree), each
+// holding an array of chunk page ids; chunk pages (TypeBlobData) hold up
+// to 8096 payload bytes each. The row stores only a fixed-size Ref.
+package blob
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"sqlarray/internal/pages"
+)
+
+// ChunkSize is the payload capacity of one blob chunk page.
+const ChunkSize = pages.PageSize - pages.HeaderSize
+
+// idsPerDir is how many chunk ids fit one directory page.
+const idsPerDir = ChunkSize / 4
+
+// RefSize is the encoded size of a Ref as stored inside a row.
+const RefSize = 12
+
+// Errors returned by the blob store.
+var (
+	ErrBadRef    = errors.New("blob: invalid blob reference")
+	ErrShortRead = errors.New("blob: read past end of blob")
+)
+
+// Ref locates a blob: the first directory page and the total length.
+// A zero Ref (Root == 0) is the null blob.
+type Ref struct {
+	Root   pages.PageID
+	Length int64
+}
+
+// IsNull reports whether the Ref addresses no blob.
+func (r Ref) IsNull() bool { return r.Root == pages.InvalidPageID }
+
+// Encode writes the Ref to a fixed 12-byte buffer.
+func (r Ref) Encode(dst []byte) {
+	binary.LittleEndian.PutUint32(dst, uint32(r.Root))
+	binary.LittleEndian.PutUint64(dst[4:], uint64(r.Length))
+}
+
+// DecodeRef reads a Ref from its fixed 12-byte form.
+func DecodeRef(b []byte) (Ref, error) {
+	if len(b) < RefSize {
+		return Ref{}, fmt.Errorf("%w: %d bytes", ErrBadRef, len(b))
+	}
+	return Ref{
+		Root:   pages.PageID(binary.LittleEndian.Uint32(b)),
+		Length: int64(binary.LittleEndian.Uint64(b[4:])),
+	}, nil
+}
+
+// Stats counts blob-store I/O at the chunk granularity, allowing the
+// benchmarks to show how partial reads touch fewer pages.
+type Stats struct {
+	DirectoryReads uint64
+	ChunkReads     uint64
+	BytesRead      uint64
+	ChunksWritten  uint64
+	BytesWritten   uint64
+	StreamCalls    uint64 // stream-wrapper invocations (the CLR-boundary analogue)
+}
+
+// Store reads and writes blobs over a buffer pool.
+type Store struct {
+	bp    *pages.BufferPool
+	stats Stats
+}
+
+// NewStore creates a blob store on bp.
+func NewStore(bp *pages.BufferPool) *Store { return &Store{bp: bp} }
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() Stats { return s.stats }
+
+// ResetStats zeroes the counters.
+func (s *Store) ResetStats() { s.stats = Stats{} }
+
+// Write stores data as a new blob and returns its Ref.
+func (s *Store) Write(data []byte) (Ref, error) {
+	if len(data) == 0 {
+		return Ref{}, nil
+	}
+	nChunks := (len(data) + ChunkSize - 1) / ChunkSize
+	chunkIDs := make([]pages.PageID, 0, nChunks)
+	for off := 0; off < len(data); off += ChunkSize {
+		end := off + ChunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		f, err := s.bp.NewPage(pages.TypeBlobData)
+		if err != nil {
+			return Ref{}, err
+		}
+		n := copy(f.Page.Body(), data[off:end])
+		f.Page.SetUsed(n)
+		chunkIDs = append(chunkIDs, f.Page.ID)
+		s.bp.Unpin(f, true)
+		s.stats.ChunksWritten++
+		s.stats.BytesWritten += uint64(n)
+	}
+	root, err := s.writeDirectory(chunkIDs)
+	if err != nil {
+		return Ref{}, err
+	}
+	return Ref{Root: root, Length: int64(len(data))}, nil
+}
+
+// writeDirectory lays the chunk id list into a chain of directory pages
+// and returns the first page id.
+func (s *Store) writeDirectory(ids []pages.PageID) (pages.PageID, error) {
+	var first, prev pages.PageID
+	var prevFrame *pages.Frame
+	for off := 0; off < len(ids); off += idsPerDir {
+		end := off + idsPerDir
+		if end > len(ids) {
+			end = len(ids)
+		}
+		f, err := s.bp.NewPage(pages.TypeBlobTree)
+		if err != nil {
+			if prevFrame != nil {
+				s.bp.Unpin(prevFrame, true)
+			}
+			return 0, err
+		}
+		body := f.Page.Body()
+		for i, id := range ids[off:end] {
+			binary.LittleEndian.PutUint32(body[4*i:], uint32(id))
+		}
+		f.Page.SetUsed((end - off) * 4)
+		if first == pages.InvalidPageID {
+			first = f.Page.ID
+		}
+		if prevFrame != nil {
+			prevFrame.Page.SetNext(f.Page.ID)
+			s.bp.Unpin(prevFrame, true)
+		}
+		prev = f.Page.ID
+		prevFrame = f
+	}
+	_ = prev
+	if prevFrame != nil {
+		s.bp.Unpin(prevFrame, true)
+	}
+	return first, nil
+}
+
+// chunkIDs loads the full chunk id list of a blob.
+func (s *Store) chunkIDs(ref Ref) ([]pages.PageID, error) {
+	if ref.IsNull() {
+		return nil, nil
+	}
+	var ids []pages.PageID
+	id := ref.Root
+	for id != pages.InvalidPageID {
+		f, err := s.bp.Fetch(id)
+		if err != nil {
+			return nil, err
+		}
+		if f.Page.Type() != pages.TypeBlobTree {
+			s.bp.Unpin(f, false)
+			return nil, fmt.Errorf("%w: page %d is not a blob directory", ErrBadRef, id)
+		}
+		s.stats.DirectoryReads++
+		used := f.Page.Used()
+		body := f.Page.Body()
+		for i := 0; i < used; i += 4 {
+			ids = append(ids, pages.PageID(binary.LittleEndian.Uint32(body[i:])))
+		}
+		next := f.Page.Next()
+		s.bp.Unpin(f, false)
+		id = next
+	}
+	return ids, nil
+}
+
+// ReadAll fetches the entire blob.
+func (s *Store) ReadAll(ref Ref) ([]byte, error) {
+	if ref.IsNull() {
+		return nil, nil
+	}
+	out := make([]byte, ref.Length)
+	if err := s.ReadAt(ref, out, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadAt fills dst with blob bytes starting at offset off, touching only
+// the chunk pages the range covers — the partial-read path.
+func (s *Store) ReadAt(ref Ref, dst []byte, off int64) error {
+	if ref.IsNull() {
+		if len(dst) == 0 {
+			return nil
+		}
+		return fmt.Errorf("%w: null blob", ErrBadRef)
+	}
+	if off < 0 || off+int64(len(dst)) > ref.Length {
+		return fmt.Errorf("%w: [%d,%d) of %d", ErrShortRead, off, off+int64(len(dst)), ref.Length)
+	}
+	if len(dst) == 0 {
+		return nil
+	}
+	ids, err := s.chunkIDs(ref)
+	if err != nil {
+		return err
+	}
+	first := int(off / ChunkSize)
+	last := int((off + int64(len(dst)) - 1) / ChunkSize)
+	w := 0
+	for c := first; c <= last; c++ {
+		if c >= len(ids) {
+			return fmt.Errorf("%w: chunk %d of %d", ErrBadRef, c, len(ids))
+		}
+		f, err := s.bp.Fetch(ids[c])
+		if err != nil {
+			return err
+		}
+		if f.Page.Type() != pages.TypeBlobData {
+			s.bp.Unpin(f, false)
+			return fmt.Errorf("%w: page %d is not a blob chunk", ErrBadRef, ids[c])
+		}
+		s.stats.ChunkReads++
+		lo := 0
+		if c == first {
+			lo = int(off % ChunkSize)
+		}
+		hi := f.Page.Used()
+		body := f.Page.Body()[lo:hi]
+		n := copy(dst[w:], body)
+		w += n
+		s.stats.BytesRead += uint64(n)
+		s.bp.Unpin(f, false)
+	}
+	if w != len(dst) {
+		return fmt.Errorf("%w: wanted %d bytes, blob yielded %d", ErrShortRead, len(dst), w)
+	}
+	return nil
+}
+
+// ReadRuns performs a batch of partial reads described as (srcOff, dstOff,
+// len) runs into dst, sharing one directory walk. This is the fast path
+// used by Subarray on max arrays: the run list comes straight from
+// core.SubarrayPlan, offset by the array header size.
+func (s *Store) ReadRuns(ref Ref, dst []byte, runs []Run) error {
+	if len(runs) == 0 {
+		return nil
+	}
+	ids, err := s.chunkIDs(ref)
+	if err != nil {
+		return err
+	}
+	for _, r := range runs {
+		if r.SrcOff < 0 || int64(r.SrcOff+r.Len) > ref.Length {
+			return fmt.Errorf("%w: run [%d,%d) of %d", ErrShortRead, r.SrcOff, r.SrcOff+r.Len, ref.Length)
+		}
+		first := r.SrcOff / ChunkSize
+		last := (r.SrcOff + r.Len - 1) / ChunkSize
+		w := r.DstOff
+		for c := first; c <= last; c++ {
+			f, err := s.bp.Fetch(ids[c])
+			if err != nil {
+				return err
+			}
+			s.stats.ChunkReads++
+			lo := 0
+			if c == first {
+				lo = r.SrcOff % ChunkSize
+			}
+			hi := f.Page.Used()
+			want := r.DstOff + r.Len - w
+			body := f.Page.Body()[lo:hi]
+			if len(body) > want {
+				body = body[:want]
+			}
+			n := copy(dst[w:], body)
+			w += n
+			s.stats.BytesRead += uint64(n)
+			s.bp.Unpin(f, false)
+		}
+	}
+	return nil
+}
+
+// Run mirrors core.Run at the blob layer (byte ranges of the stored
+// blob). Declared locally to keep the package dependency-free.
+type Run struct {
+	SrcOff int
+	DstOff int
+	Len    int
+}
+
+// NumChunks returns how many chunk pages a blob of n bytes occupies.
+func NumChunks(n int64) int {
+	return int((n + ChunkSize - 1) / ChunkSize)
+}

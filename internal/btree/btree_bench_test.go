@@ -1,0 +1,66 @@
+package btree
+
+import (
+	"testing"
+
+	"sqlarray/internal/pages"
+)
+
+func benchTree(b *testing.B, n int) *Tree {
+	b.Helper()
+	bp := pages.NewBufferPool(pages.NewMemDisk(), 1<<16)
+	tr, err := New(bp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := int64(0); i < int64(n); i++ {
+		if err := tr.Insert(i, val(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func BenchmarkInsertSequential(b *testing.B) {
+	bp := pages.NewBufferPool(pages.NewMemDisk(), 1<<16)
+	tr, err := New(bp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Insert(int64(i), val(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := benchTree(b, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Get(int64(i % 100_000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScan100k(b *testing.B) {
+	tr := benchTree(b, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it, err := tr.Scan()
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for it.Next() {
+			n++
+		}
+		it.Close()
+		if n != 100_000 {
+			b.Fatalf("scanned %d", n)
+		}
+	}
+	b.ReportMetric(100_000, "rows/op")
+}

@@ -1,0 +1,114 @@
+package btree
+
+import (
+	"sqlarray/internal/pages"
+)
+
+// Iterator walks leaf records in key order — the clustered index scan.
+// Usage:
+//
+//	it, err := tree.Scan()
+//	for it.Next() {
+//	    key, val := it.Key(), it.Value()
+//	}
+//	err = it.Err()
+//	it.Close()
+//
+// Value aliases the pinned page buffer and is only valid until the next
+// call to Next or Close; copy to retain.
+type Iterator struct {
+	t     *Tree
+	frame *pages.Frame
+	slot  int
+	key   int64
+	val   []byte
+	err   error
+	done  bool
+}
+
+// Scan returns an iterator over the whole tree.
+func (t *Tree) Scan() (*Iterator, error) {
+	leaf, err := t.leftmostLeaf()
+	if err != nil {
+		return nil, err
+	}
+	return t.newIterator(leaf, 0)
+}
+
+// ScanFrom returns an iterator positioned at the first key >= start.
+func (t *Tree) ScanFrom(start int64) (*Iterator, error) {
+	leaf, err := t.leafFor(start)
+	if err != nil {
+		return nil, err
+	}
+	it, err := t.newIterator(leaf, 0)
+	if err != nil {
+		return nil, err
+	}
+	if it.frame != nil {
+		slot, _ := searchSlot(&it.frame.Page, start)
+		it.slot = slot
+	}
+	return it, nil
+}
+
+func (t *Tree) newIterator(leaf pages.PageID, slot int) (*Iterator, error) {
+	f, err := t.bp.Fetch(leaf)
+	if err != nil {
+		return nil, err
+	}
+	return &Iterator{t: t, frame: f, slot: slot}, nil
+}
+
+// Next advances to the next record, returning false at the end or on
+// error (check Err).
+func (it *Iterator) Next() bool {
+	if it.done || it.err != nil {
+		return false
+	}
+	for {
+		if it.slot < it.frame.Page.NumSlots() {
+			rec, err := it.frame.Page.Record(it.slot)
+			it.slot++
+			if err != nil {
+				continue // skip dead slots
+			}
+			it.key = leafKey(rec)
+			it.val = rec[8:]
+			return true
+		}
+		next := it.frame.Page.Next()
+		it.t.bp.Unpin(it.frame, false)
+		it.frame = nil
+		if next == pages.InvalidPageID {
+			it.done = true
+			return false
+		}
+		f, err := it.t.bp.Fetch(next)
+		if err != nil {
+			it.err = err
+			it.done = true
+			return false
+		}
+		it.frame = f
+		it.slot = 0
+	}
+}
+
+// Key returns the current record's key.
+func (it *Iterator) Key() int64 { return it.key }
+
+// Value returns the current record's value, aliasing the page buffer.
+func (it *Iterator) Value() []byte { return it.val }
+
+// Err returns the first error encountered while iterating.
+func (it *Iterator) Err() error { return it.err }
+
+// Close releases the iterator's pinned page. Safe to call twice.
+func (it *Iterator) Close() {
+	if it.frame != nil {
+		it.t.bp.Unpin(it.frame, false)
+		it.frame = nil
+	}
+	it.done = true
+}

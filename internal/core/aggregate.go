@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sum returns the sum of all elements as float64 (real part for complex
+// arrays; use SumComplex for full complex sums).
+func (a *Array) Sum() float64 {
+	s := 0.0
+	for i, n := 0, a.Len(); i < n; i++ {
+		s += a.FloatAt(i)
+	}
+	return s
+}
+
+// SumComplex returns the complex sum of all elements.
+func (a *Array) SumComplex() complex128 {
+	var s complex128
+	for i, n := 0, a.Len(); i < n; i++ {
+		s += a.ComplexAt(i)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements; NaN for empty arrays.
+func (a *Array) Mean() float64 {
+	n := a.Len()
+	if n == 0 {
+		return math.NaN()
+	}
+	return a.Sum() / float64(n)
+}
+
+// MinMax returns the smallest and largest element values. For empty
+// arrays it returns (+Inf, -Inf).
+func (a *Array) MinMax() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for i, n := 0, a.Len(); i < n; i++ {
+		v := a.FloatAt(i)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// Std returns the population standard deviation of the elements.
+func (a *Array) Std() float64 {
+	n := a.Len()
+	if n == 0 {
+		return math.NaN()
+	}
+	mean := a.Mean()
+	ss := 0.0
+	for i := 0; i < n; i++ {
+		d := a.FloatAt(i) - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Norm2 returns the Euclidean norm of the elements (complex elements
+// contribute their modulus).
+func (a *Array) Norm2() float64 {
+	ss := 0.0
+	if a.hdr.Elem.IsComplex() {
+		for i, n := 0, a.Len(); i < n; i++ {
+			v := a.ComplexAt(i)
+			ss += real(v)*real(v) + imag(v)*imag(v)
+		}
+	} else {
+		for i, n := 0, a.Len(); i < n; i++ {
+			v := a.FloatAt(i)
+			ss += v * v
+		}
+	}
+	return math.Sqrt(ss)
+}
+
+// ReduceOp selects the reduction applied along an axis by ReduceDim.
+type ReduceOp uint8
+
+const (
+	ReduceSum ReduceOp = iota
+	ReduceMean
+	ReduceMin
+	ReduceMax
+)
+
+// String returns the SQL-ish name of the reduction.
+func (op ReduceOp) String() string {
+	switch op {
+	case ReduceSum:
+		return "SUM"
+	case ReduceMean:
+		return "AVG"
+	case ReduceMin:
+		return "MIN"
+	case ReduceMax:
+		return "MAX"
+	}
+	return fmt.Sprintf("ReduceOp(%d)", uint8(op))
+}
+
+// ReduceDim aggregates over one axis, producing an array of rank-1 lower
+// (the paper's "summation over certain axes to get, for example, the
+// overall spectrum of an object", §2.2). The result element type is
+// Float64 for Sum/Mean and the source type for Min/Max. A rank-1 input
+// reduces to a rank-1 single-element array.
+func (a *Array) ReduceDim(axis int, op ReduceOp) (*Array, error) {
+	rank := a.Rank()
+	if axis < 0 || axis >= rank {
+		return nil, fmt.Errorf("%w: axis %d for rank-%d array", ErrRank, axis, rank)
+	}
+	outDims := make([]int, 0, rank-1)
+	for k, d := range a.hdr.Dims {
+		if k != axis {
+			outDims = append(outDims, d)
+		}
+	}
+	if len(outDims) == 0 {
+		outDims = []int{1}
+	}
+	et := Float64
+	if op == ReduceMin || op == ReduceMax {
+		et = a.hdr.Elem
+	}
+	out, err := NewAuto(et, outDims...)
+	if err != nil {
+		return nil, err
+	}
+	// Column-major iteration: decompose linear index into (inner, axis,
+	// outer) where inner covers dims < axis and outer covers dims > axis.
+	inner := 1
+	for k := 0; k < axis; k++ {
+		inner *= a.hdr.Dims[k]
+	}
+	nAxis := a.hdr.Dims[axis]
+	outer := a.Len() / (inner * maxInt(nAxis, 1))
+	if nAxis == 0 {
+		return nil, fmt.Errorf("%w: cannot reduce over empty axis %d", ErrShape, axis)
+	}
+	for o := 0; o < outer; o++ {
+		for in := 0; in < inner; in++ {
+			var acc float64
+			switch op {
+			case ReduceMin:
+				acc = math.Inf(1)
+			case ReduceMax:
+				acc = math.Inf(-1)
+			}
+			for j := 0; j < nAxis; j++ {
+				v := a.FloatAt(in + inner*(j+nAxis*o))
+				switch op {
+				case ReduceSum, ReduceMean:
+					acc += v
+				case ReduceMin:
+					if v < acc {
+						acc = v
+					}
+				case ReduceMax:
+					if v > acc {
+						acc = v
+					}
+				}
+			}
+			if op == ReduceMean {
+				acc /= float64(nAxis)
+			}
+			out.SetFloatAt(in+inner*o, acc)
+		}
+	}
+	return out, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

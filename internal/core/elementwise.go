@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// sameShape verifies a and b have identical dimension sizes.
+func sameShape(a, b *Array) error {
+	if a.Rank() != b.Rank() {
+		return fmt.Errorf("%w: rank %d vs %d", ErrShape, a.Rank(), b.Rank())
+	}
+	for k := range a.hdr.Dims {
+		if a.hdr.Dims[k] != b.hdr.Dims[k] {
+			return fmt.Errorf("%w: dim %d: %d vs %d", ErrShape, k, a.hdr.Dims[k], b.hdr.Dims[k])
+		}
+	}
+	return nil
+}
+
+// binop applies f elementwise over two same-shaped arrays, producing a
+// new array whose element type is the "wider" of the two operands
+// (complex beats float beats int; Float64 is used for mixed real math).
+func binop(a, b *Array, f func(x, y complex128) complex128) (*Array, error) {
+	if err := sameShape(a, b); err != nil {
+		return nil, err
+	}
+	et := resultElem(a.hdr.Elem, b.hdr.Elem)
+	out, err := NewAuto(et, a.hdr.Dims...)
+	if err != nil {
+		return nil, err
+	}
+	if et.IsComplex() {
+		for i, n := 0, a.Len(); i < n; i++ {
+			out.SetComplexAt(i, f(a.ComplexAt(i), b.ComplexAt(i)))
+		}
+	} else {
+		for i, n := 0, a.Len(); i < n; i++ {
+			out.SetFloatAt(i, real(f(complex(a.FloatAt(i), 0), complex(b.FloatAt(i), 0))))
+		}
+	}
+	return out, nil
+}
+
+// resultElem picks the element type of an elementwise binary result.
+func resultElem(x, y ElemType) ElemType {
+	switch {
+	case x == Complex128 || y == Complex128:
+		return Complex128
+	case x == Complex64 || y == Complex64:
+		if x == Float64 || y == Float64 {
+			return Complex128
+		}
+		return Complex64
+	case x == Float64 || y == Float64:
+		return Float64
+	case x == Float32 || y == Float32:
+		if x.Size() > 4 || y.Size() > 4 {
+			return Float64
+		}
+		return Float32
+	case x.Size() >= y.Size():
+		return x
+	default:
+		return y
+	}
+}
+
+// Add returns a + b elementwise.
+func Add(a, b *Array) (*Array, error) {
+	return binop(a, b, func(x, y complex128) complex128 { return x + y })
+}
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Array) (*Array, error) {
+	return binop(a, b, func(x, y complex128) complex128 { return x - y })
+}
+
+// Mul returns a * b elementwise (the Hadamard product).
+func Mul(a, b *Array) (*Array, error) {
+	return binop(a, b, func(x, y complex128) complex128 { return x * y })
+}
+
+// Div returns a / b elementwise. Division by zero follows IEEE semantics
+// for floating results.
+func Div(a, b *Array) (*Array, error) {
+	return binop(a, b, func(x, y complex128) complex128 { return x / y })
+}
+
+// Scale returns s * a elementwise, preserving a's element type for real
+// arrays (the "multiplication by scalar" of §2.2).
+func (a *Array) Scale(s float64) (*Array, error) {
+	out, err := NewAuto(a.hdr.Elem, a.hdr.Dims...)
+	if err != nil {
+		return nil, err
+	}
+	if a.hdr.Elem.IsComplex() {
+		for i, n := 0, a.Len(); i < n; i++ {
+			out.SetComplexAt(i, complex(s, 0)*a.ComplexAt(i))
+		}
+	} else {
+		for i, n := 0, a.Len(); i < n; i++ {
+			out.SetFloatAt(i, s*a.FloatAt(i))
+		}
+	}
+	return out, nil
+}
+
+// AXPY computes alpha*x + y into a new array (shapes must match).
+func AXPY(alpha float64, x, y *Array) (*Array, error) {
+	return binop(x, y, func(a, b complex128) complex128 {
+		return complex(alpha, 0)*a + b
+	})
+}
+
+// Dot returns the real dot product of two same-shaped real arrays.
+func Dot(a, b *Array) (float64, error) {
+	if err := sameShape(a, b); err != nil {
+		return 0, err
+	}
+	s := 0.0
+	for i, n := 0, a.Len(); i < n; i++ {
+		s += a.FloatAt(i) * b.FloatAt(i)
+	}
+	return s, nil
+}
+
+// MaskedDot returns the dot product of a and b restricted to positions
+// where the flags array is zero (good pixels). This is the §2.2 pattern:
+// "because of the flags that mask out wrong measurements bin by bin, dot
+// product cannot be used ... but least squares fitting is necessary" —
+// MaskedDot is the building block for those masked normal equations.
+func MaskedDot(a, b, flags *Array) (float64, int, error) {
+	if err := sameShape(a, b); err != nil {
+		return 0, 0, err
+	}
+	if err := sameShape(a, flags); err != nil {
+		return 0, 0, err
+	}
+	s := 0.0
+	used := 0
+	for i, n := 0, a.Len(); i < n; i++ {
+		if flags.IntAt(i) != 0 {
+			continue
+		}
+		s += a.FloatAt(i) * b.FloatAt(i)
+		used++
+	}
+	return s, used, nil
+}
+
+// Apply returns a new array with f applied to every element (real view).
+func (a *Array) Apply(f func(float64) float64) (*Array, error) {
+	out, err := NewAuto(a.hdr.Elem, a.hdr.Dims...)
+	if err != nil {
+		return nil, err
+	}
+	for i, n := 0, a.Len(); i < n; i++ {
+		out.SetFloatAt(i, f(a.FloatAt(i)))
+	}
+	return out, nil
+}
+
+// Abs returns the elementwise absolute value (modulus for complex
+// arrays, which therefore produce a real-typed result).
+func (a *Array) Abs() (*Array, error) {
+	if !a.hdr.Elem.IsComplex() {
+		return a.Apply(math.Abs)
+	}
+	et := Float64
+	if a.hdr.Elem == Complex64 {
+		et = Float32
+	}
+	out, err := NewAuto(et, a.hdr.Dims...)
+	if err != nil {
+		return nil, err
+	}
+	for i, n := 0, a.Len(); i < n; i++ {
+		v := a.ComplexAt(i)
+		out.SetFloatAt(i, math.Hypot(real(v), imag(v)))
+	}
+	return out, nil
+}

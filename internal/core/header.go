@@ -1,0 +1,216 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Header is the decoded form of the blob header described in §3.5 of the
+// paper: flags identifying the storage class and the underlying element
+// type (so type mismatches are detected at runtime when a blob is passed
+// to the wrong function), the number of dimensions, the total element
+// count, and the dimension sizes.
+//
+// Wire layouts (little-endian):
+//
+//	short (24 bytes fixed):
+//	  [0]    magic 0xAB
+//	  [1]    flags: bit0 = storage class (0 short), bits 4-7 = version
+//	  [2]    element type
+//	  [3]    rank (<= 6)
+//	  [4:8]  total element count (uint32)
+//	  [8:20] six dimension sizes (uint16 each; unused trailing dims = 0)
+//	  [20:24] reserved (zero)
+//
+//	max (16 bytes + 4 per dimension):
+//	  [0]    magic 0xAB
+//	  [1]    flags: bit0 = 1 (max), bits 4-7 = version
+//	  [2]    element type
+//	  [3]    reserved
+//	  [4:8]  rank (uint32)
+//	  [8:16] total element count (uint64)
+//	  [16:]  rank dimension sizes (uint32 each)
+type Header struct {
+	Class StorageClass
+	Elem  ElemType
+	Dims  []int
+}
+
+const classFlagMask = 0x01
+
+// Rank returns the number of dimensions.
+func (h *Header) Rank() int { return len(h.Dims) }
+
+// Count returns the total number of elements (the product of the
+// dimension sizes; 1 for a rank-0 scalar array).
+func (h *Header) Count() int {
+	n := 1
+	for _, d := range h.Dims {
+		n *= d
+	}
+	return n
+}
+
+// DataBytes returns the payload length in bytes.
+func (h *Header) DataBytes() int { return h.Count() * h.Elem.Size() }
+
+// EncodedSize returns the number of header bytes this header occupies on
+// the wire.
+func (h *Header) EncodedSize() int {
+	if h.Class == Short {
+		return ShortHeaderSize
+	}
+	return MaxFixedHeaderSize + 4*len(h.Dims)
+}
+
+// TotalBytes returns header plus payload length.
+func (h *Header) TotalBytes() int { return h.EncodedSize() + h.DataBytes() }
+
+// Validate checks the header against the limits of its storage class.
+func (h *Header) Validate() error {
+	if !h.Elem.Valid() {
+		return fmt.Errorf("%w: invalid element type %d", ErrBadHeader, uint8(h.Elem))
+	}
+	switch h.Class {
+	case Short:
+		if len(h.Dims) > MaxShortRank {
+			return fmt.Errorf("%w: short arrays support at most %d dimensions, got %d",
+				ErrRank, MaxShortRank, len(h.Dims))
+		}
+		for i, d := range h.Dims {
+			if d < 0 || d > MaxShortDim {
+				return fmt.Errorf("%w: short dimension %d size %d outside [0,%d]",
+					ErrBadHeader, i, d, MaxShortDim)
+			}
+		}
+		if h.TotalBytes() > MaxShortBytes {
+			return fmt.Errorf("%w: %d bytes > VARBINARY(%d)", ErrTooLarge, h.TotalBytes(), MaxShortBytes)
+		}
+	case Max:
+		for i, d := range h.Dims {
+			if d < 0 || d > MaxMaxDim {
+				return fmt.Errorf("%w: max dimension %d size %d outside [0,%d]",
+					ErrBadHeader, i, d, MaxMaxDim)
+			}
+		}
+	default:
+		return fmt.Errorf("%w: unknown storage class %d", ErrBadHeader, uint8(h.Class))
+	}
+	return nil
+}
+
+// AppendEncode appends the wire form of h to dst and returns the extended
+// slice. The header must be valid.
+func (h *Header) AppendEncode(dst []byte) []byte {
+	flags := byte(h.Class)&classFlagMask | FormatVersion<<4
+	if h.Class == Short {
+		var buf [ShortHeaderSize]byte
+		buf[0] = Magic
+		buf[1] = flags
+		buf[2] = byte(h.Elem)
+		buf[3] = byte(len(h.Dims))
+		binary.LittleEndian.PutUint32(buf[4:8], uint32(h.Count()))
+		for i, d := range h.Dims {
+			binary.LittleEndian.PutUint16(buf[8+2*i:], uint16(d))
+		}
+		return append(dst, buf[:]...)
+	}
+	var buf [MaxFixedHeaderSize]byte
+	buf[0] = Magic
+	buf[1] = flags
+	buf[2] = byte(h.Elem)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(h.Dims)))
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(h.Count()))
+	dst = append(dst, buf[:]...)
+	var dim [4]byte
+	for _, d := range h.Dims {
+		binary.LittleEndian.PutUint32(dim[:], uint32(d))
+		dst = append(dst, dim[:]...)
+	}
+	return dst
+}
+
+// DecodeHeader parses an array header from the front of b, returning the
+// header and the number of header bytes consumed. It validates structural
+// invariants (magic byte, class limits, count consistency) but does not
+// require the payload to be present in b; use Wrap for full validation.
+func DecodeHeader(b []byte) (Header, int, error) {
+	if len(b) < 4 {
+		return Header{}, 0, fmt.Errorf("%w: %d bytes is shorter than any header", ErrBadHeader, len(b))
+	}
+	if b[0] != Magic {
+		return Header{}, 0, fmt.Errorf("%w: bad magic byte 0x%02x", ErrBadHeader, b[0])
+	}
+	class := StorageClass(b[1] & classFlagMask)
+	if ver := b[1] >> 4; ver != FormatVersion {
+		return Header{}, 0, fmt.Errorf("%w: unsupported format version %d", ErrBadHeader, ver)
+	}
+	et := ElemType(b[2])
+	if !et.Valid() {
+		return Header{}, 0, fmt.Errorf("%w: invalid element type %d", ErrBadHeader, b[2])
+	}
+	var h Header
+	var n int
+	if class == Short {
+		if len(b) < ShortHeaderSize {
+			return Header{}, 0, fmt.Errorf("%w: short header needs %d bytes, have %d",
+				ErrBadHeader, ShortHeaderSize, len(b))
+		}
+		rank := int(b[3])
+		if rank > MaxShortRank {
+			return Header{}, 0, fmt.Errorf("%w: short rank %d > %d", ErrRank, rank, MaxShortRank)
+		}
+		h = Header{Class: Short, Elem: et, Dims: make([]int, rank)}
+		for i := range h.Dims {
+			h.Dims[i] = int(binary.LittleEndian.Uint16(b[8+2*i:]))
+		}
+		declared := int(binary.LittleEndian.Uint32(b[4:8]))
+		if declared != h.Count() {
+			return Header{}, 0, fmt.Errorf("%w: declared count %d != dim product %d",
+				ErrBadHeader, declared, h.Count())
+		}
+		n = ShortHeaderSize
+	} else {
+		if len(b) < MaxFixedHeaderSize {
+			return Header{}, 0, fmt.Errorf("%w: max header needs at least %d bytes, have %d",
+				ErrBadHeader, MaxFixedHeaderSize, len(b))
+		}
+		rank64 := binary.LittleEndian.Uint32(b[4:8])
+		const sanityRank = 1 << 20 // a header this large is certainly corrupt
+		if rank64 > sanityRank {
+			return Header{}, 0, fmt.Errorf("%w: implausible rank %d", ErrRank, rank64)
+		}
+		rank := int(rank64)
+		n = MaxFixedHeaderSize + 4*rank
+		if len(b) < n {
+			return Header{}, 0, fmt.Errorf("%w: max header with %d dims needs %d bytes, have %d",
+				ErrBadHeader, rank, n, len(b))
+		}
+		h = Header{Class: Max, Elem: et, Dims: make([]int, rank)}
+		for i := range h.Dims {
+			h.Dims[i] = int(binary.LittleEndian.Uint32(b[MaxFixedHeaderSize+4*i:]))
+		}
+		declared := binary.LittleEndian.Uint64(b[8:16])
+		if declared != uint64(h.Count()) {
+			return Header{}, 0, fmt.Errorf("%w: declared count %d != dim product %d",
+				ErrBadHeader, declared, h.Count())
+		}
+	}
+	if err := h.Validate(); err != nil {
+		return Header{}, 0, err
+	}
+	return h, n, nil
+}
+
+// String renders the header in a compact human-readable form, e.g.
+// "float[5x5] short".
+func (h *Header) String() string {
+	s := h.Elem.String() + "["
+	for i, d := range h.Dims {
+		if i > 0 {
+			s += "x"
+		}
+		s += fmt.Sprint(d)
+	}
+	return s + "] " + h.Class.String()
+}

@@ -1,0 +1,56 @@
+package core
+
+import "fmt"
+
+// Reshape returns an array with the same payload but new dimension sizes.
+// Per §5.1, "original and target sizes must not differ": the element count
+// must be preserved. The storage class is kept unless the new rank exceeds
+// the short-class limit, in which case the result is promoted to max.
+func (a *Array) Reshape(dims ...int) (*Array, error) {
+	n := 1
+	for _, d := range dims {
+		if d < 0 {
+			return nil, fmt.Errorf("%w: negative dimension %d", ErrShape, d)
+		}
+		n *= d
+	}
+	if n != a.Len() {
+		return nil, fmt.Errorf("%w: reshape %v -> %v changes element count %d -> %d",
+			ErrShape, a.hdr.Dims, dims, a.Len(), n)
+	}
+	class := a.hdr.Class
+	h := Header{Class: class, Elem: a.hdr.Elem, Dims: dims}
+	if class == Short && h.Validate() != nil {
+		class = Max
+	}
+	out, err := New(class, a.hdr.Elem, dims...)
+	if err != nil {
+		return nil, err
+	}
+	copy(out.Payload(), a.Payload())
+	return out, nil
+}
+
+// Cast prefixes raw element bytes with an array header, the counterpart
+// of the T-SQL Cast function ("used to treat raw binaries containing
+// consecutive numbers to be able to be treated as arrays", §5.1).
+func Cast(class StorageClass, et ElemType, raw []byte, dims ...int) (*Array, error) {
+	h := Header{Class: class, Elem: et, Dims: dims}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	if len(raw) != h.DataBytes() {
+		return nil, fmt.Errorf("%w: %d raw bytes for %d declared payload bytes",
+			ErrShape, len(raw), h.DataBytes())
+	}
+	buf := make([]byte, 0, h.TotalBytes())
+	buf = h.AppendEncode(buf)
+	buf = append(buf, raw...)
+	return &Array{hdr: h, buf: buf}, nil
+}
+
+// Raw returns a copy of the element bytes with the header stripped, the
+// counterpart of the T-SQL Raw function.
+func (a *Array) Raw() []byte {
+	return append([]byte(nil), a.Payload()...)
+}

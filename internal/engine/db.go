@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"sqlarray/internal/blob"
+	"sqlarray/internal/btree"
+	"sqlarray/internal/pages"
+)
+
+// DB is a database instance: a buffer pool over one disk file, a blob
+// store for out-of-page data, a table catalog and a function registry.
+type DB struct {
+	mu     sync.RWMutex
+	bp     *pages.BufferPool
+	blobs  *blob.Store
+	tables map[string]*Table
+	funcs  *FuncRegistry
+}
+
+// Options configures a database.
+type Options struct {
+	// Disk backs the database; defaults to an in-memory disk.
+	Disk pages.DiskManager
+	// PoolPages sizes the buffer pool; defaults to 16384 frames (128 MB).
+	PoolPages int
+}
+
+// NewDB creates a database with the given options.
+func NewDB(opts Options) *DB {
+	if opts.Disk == nil {
+		opts.Disk = pages.NewMemDisk()
+	}
+	if opts.PoolPages <= 0 {
+		opts.PoolPages = 16384
+	}
+	bp := pages.NewBufferPool(opts.Disk, opts.PoolPages)
+	return &DB{
+		bp:     bp,
+		blobs:  blob.NewStore(bp),
+		tables: make(map[string]*Table),
+		funcs:  NewFuncRegistry(),
+	}
+}
+
+// NewMemDB creates an in-memory database with default sizing.
+func NewMemDB() *DB { return NewDB(Options{}) }
+
+// Pool exposes the buffer pool (benchmarks read its I/O counters).
+func (db *DB) Pool() *pages.BufferPool { return db.bp }
+
+// Blobs exposes the blob store.
+func (db *DB) Blobs() *blob.Store { return db.blobs }
+
+// Funcs exposes the UDF registry.
+func (db *DB) Funcs() *FuncRegistry { return db.funcs }
+
+// CreateTable registers a new table with the given schema.
+func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrTableExists, name)
+	}
+	tree, err := btree.New(db.bp)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{db: db, name: name, schema: schema, tree: tree}
+	db.tables[name] = t
+	return t, nil
+}
+
+// Table looks a table up by name.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	return t, nil
+}
+
+// DropCleanBuffers clears the page cache, as the paper does before each
+// measured query run.
+func (db *DB) DropCleanBuffers() error { return db.bp.DropCleanBuffers() }

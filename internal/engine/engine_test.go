@@ -1,0 +1,407 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func testSchema(t *testing.T) Schema {
+	t.Helper()
+	s, err := NewSchema(
+		Column{"id", ColInt64},
+		Column{"x", ColFloat64},
+		Column{"v", ColVarBinary},
+		Column{"big", ColVarBinaryMax},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(); err == nil {
+		t.Error("empty schema must fail")
+	}
+	if _, err := NewSchema(Column{"x", ColFloat64}); !errors.Is(err, ErrTypeError) {
+		t.Errorf("non-BIGINT key: %v", err)
+	}
+	if _, err := NewSchema(Column{"id", ColInt64}, Column{"id", ColFloat64}); err == nil {
+		t.Error("duplicate column must fail")
+	}
+	s := testSchema(t)
+	if s.ColIndex("v") != 2 || s.ColIndex("nope") != -1 {
+		t.Error("ColIndex wrong")
+	}
+}
+
+func TestValueCoercions(t *testing.T) {
+	if f, err := IntValue(3).AsFloat(); err != nil || f != 3 {
+		t.Errorf("int->float: %g, %v", f, err)
+	}
+	if i, err := FloatValue(3.9).AsInt(); err != nil || i != 3 {
+		t.Errorf("float->int: %d, %v", i, err)
+	}
+	if _, err := BinaryValue(nil).AsFloat(); !errors.Is(err, ErrTypeError) {
+		t.Errorf("binary->float: %v", err)
+	}
+	if _, err := Null.AsFloat(); !errors.Is(err, ErrNullValue) {
+		t.Errorf("null->float: %v", err)
+	}
+	if b, err := BinaryValue([]byte{1}).AsBinary(); err != nil || len(b) != 1 {
+		t.Errorf("binary: %v, %v", b, err)
+	}
+	if !Null.IsNull() || IntValue(0).IsNull() {
+		t.Error("null detection wrong")
+	}
+	for _, v := range []Value{Null, IntValue(5), FloatValue(2.5), BinaryValue([]byte{1, 2})} {
+		if v.String() == "" {
+			t.Error("empty String()")
+		}
+	}
+}
+
+func TestRowEncodeDecodeRoundtrip(t *testing.T) {
+	s := testSchema(t)
+	// big column holds an encoded ref in real rows; fake one here (12 bytes).
+	vals := []Value{
+		IntValue(42),
+		FloatValue(3.25),
+		BinaryValue([]byte{9, 8, 7}),
+		BinaryMaxValue(make([]byte, 12)),
+	}
+	raw, err := encodeRow(&s, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rv RowView
+	rv.reset(&s, raw)
+	if v, err := rv.Col(0); err != nil || v.I != 42 {
+		t.Errorf("col 0 = %v, %v", v, err)
+	}
+	if v, err := rv.Col(1); err != nil || v.F != 3.25 {
+		t.Errorf("col 1 = %v, %v", v, err)
+	}
+	if v, err := rv.Col(2); err != nil || !bytes.Equal(v.B, []byte{9, 8, 7}) {
+		t.Errorf("col 2 = %v, %v", v, err)
+	}
+	if v, err := rv.Col(3); err != nil || len(v.B) != 12 {
+		t.Errorf("col 3 = %v, %v", v, err)
+	}
+	if _, err := rv.Col(7); !errors.Is(err, ErrNoColumn) {
+		t.Errorf("bad col: %v", err)
+	}
+	// Out-of-order access must work (offsets computed on demand).
+	rv.reset(&s, raw)
+	if v, err := rv.Col(2); err != nil || len(v.B) != 3 {
+		t.Errorf("direct col 2 = %v, %v", v, err)
+	}
+}
+
+func TestRowNulls(t *testing.T) {
+	s := testSchema(t)
+	vals := []Value{IntValue(1), Null, Null, Null}
+	raw, err := encodeRow(&s, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rv RowView
+	rv.reset(&s, raw)
+	for i := 1; i < 4; i++ {
+		v, err := rv.Col(i)
+		if err != nil || !v.IsNull() {
+			t.Errorf("col %d = %v, %v; want NULL", i, v, err)
+		}
+	}
+}
+
+func TestRowEncodeErrors(t *testing.T) {
+	s := testSchema(t)
+	if _, err := encodeRow(&s, []Value{IntValue(1)}); !errors.Is(err, ErrTypeError) {
+		t.Errorf("arity: %v", err)
+	}
+	tooBig := make([]byte, 8001)
+	if _, err := encodeRow(&s, []Value{IntValue(1), Null, BinaryValue(tooBig), Null}); !errors.Is(err, ErrTypeError) {
+		t.Errorf("oversized VARBINARY: %v", err)
+	}
+	if _, err := encodeRow(&s, []Value{IntValue(1), BinaryValue([]byte{1}), Null, Null}); !errors.Is(err, ErrTypeError) {
+		t.Errorf("binary in float column: %v", err)
+	}
+	if _, err := encodeRow(&s, []Value{IntValue(1), Null, Null, BinaryMaxValue([]byte{1})}); !errors.Is(err, ErrTypeError) {
+		t.Errorf("non-ref in MAX column: %v", err)
+	}
+}
+
+func TestTableInsertGetScan(t *testing.T) {
+	db := NewMemDB()
+	tbl, err := db.CreateTable("t", testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 20000)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	for i := int64(0); i < 100; i++ {
+		err := tbl.Insert([]Value{
+			IntValue(i),
+			FloatValue(float64(i) / 2),
+			BinaryValue([]byte{byte(i)}),
+			BinaryMaxValue(big),
+		})
+		if err != nil {
+			t.Fatalf("Insert %d: %v", i, err)
+		}
+	}
+	if tbl.Rows() != 100 {
+		t.Errorf("Rows = %d", tbl.Rows())
+	}
+	// Point lookup.
+	row, err := tbl.Get(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[1].F != 21 {
+		t.Errorf("x = %v", row[1])
+	}
+	// The MAX column decodes to a ref; materialize it.
+	got, err := tbl.FetchBlob(row[3].B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Error("blob roundtrip mismatch")
+	}
+	// Scan in key order.
+	var keys []int64
+	sum := 0.0
+	err = tbl.Scan(func(key int64, rv *RowView) (bool, error) {
+		keys = append(keys, key)
+		v, err := rv.Col(1)
+		if err != nil {
+			return false, err
+		}
+		sum += v.F
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 100 || keys[0] != 0 || keys[99] != 99 {
+		t.Errorf("scan keys wrong: %d keys", len(keys))
+	}
+	if sum != 99.0*100/4 {
+		t.Errorf("scan sum = %g", sum)
+	}
+	// Early stop.
+	n := 0
+	err = tbl.Scan(func(int64, *RowView) (bool, error) { n++; return n < 10, nil })
+	if err != nil || n != 10 {
+		t.Errorf("early stop: n=%d, %v", n, err)
+	}
+}
+
+func TestTableBlobStream(t *testing.T) {
+	db := NewMemDB()
+	tbl, err := db.CreateTable("t", testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 50000)
+	rng := rand.New(rand.NewSource(8))
+	rng.Read(data)
+	if err := tbl.Insert([]Value{IntValue(1), Null, Null, BinaryMaxValue(data)}); err != nil {
+		t.Fatal(err)
+	}
+	row, err := tbl.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := tbl.OpenBlob(row[3].B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 100)
+	if _, err := st.ReadAt(buf, 30000); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data[30000:30100]) {
+		t.Error("stream partial read mismatch")
+	}
+}
+
+func TestDBCatalog(t *testing.T) {
+	db := NewMemDB()
+	if _, err := db.Table("missing"); !errors.Is(err, ErrNoTable) {
+		t.Errorf("missing table: %v", err)
+	}
+	s := testSchema(t)
+	if _, err := db.CreateTable("t", s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("t", s); !errors.Is(err, ErrTableExists) {
+		t.Errorf("duplicate table: %v", err)
+	}
+	tbl, err := db.Table("t")
+	if err != nil || tbl.Name() != "t" {
+		t.Errorf("lookup: %v, %v", tbl, err)
+	}
+}
+
+func TestTableStats(t *testing.T) {
+	db := NewMemDB()
+	tbl, _ := db.CreateTable("t", testSchema(t))
+	for i := int64(0); i < 1000; i++ {
+		if err := tbl.Insert([]Value{IntValue(i), FloatValue(1), BinaryValue(make([]byte, 40)), Null}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := tbl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rows != 1000 || st.LeafPages < 5 || st.RowBytes <= 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestUDFBoundary(t *testing.T) {
+	r := NewFuncRegistry()
+	r.Register("dbo.AddOne", 1, func(args []Value) (Value, error) {
+		f, err := args[0].AsFloat()
+		if err != nil {
+			return Null, err
+		}
+		return FloatValue(f + 1), nil
+	})
+	def, err := r.Lookup("DBO.addone") // case-insensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.Call(def, []Value{FloatValue(41)})
+	if err != nil || out.F != 42 {
+		t.Errorf("call = %v, %v", out, err)
+	}
+	// Arity enforcement.
+	if _, err := r.Call(def, []Value{FloatValue(1), FloatValue(2)}); err == nil {
+		t.Error("arity violation must fail")
+	}
+	if _, err := r.Lookup("nope"); !errors.Is(err, ErrNoFunc) {
+		t.Errorf("missing func: %v", err)
+	}
+	st := r.Stats()
+	if st.Calls != 1 || st.BytesMarshaled == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	r.ResetStats()
+	if r.Stats().Calls != 0 {
+		t.Error("ResetStats failed")
+	}
+	if len(r.Names()) != 1 {
+		t.Errorf("Names = %v", r.Names())
+	}
+}
+
+func TestUDFBoundaryBinaryArgs(t *testing.T) {
+	r := NewFuncRegistry()
+	r.Register("dbo.len", -1, func(args []Value) (Value, error) {
+		b, err := args[0].AsBinary()
+		if err != nil {
+			return Null, err
+		}
+		return IntValue(int64(len(b))), nil
+	})
+	payload := make([]byte, 4096)
+	out, err := r.CallByName("dbo.len", []Value{BinaryValue(payload)})
+	if err != nil || out.I != 4096 {
+		t.Fatalf("call = %v, %v", out, err)
+	}
+	// Marshaling must have copied the payload across (arg + result).
+	if r.Stats().BytesMarshaled < 4096 {
+		t.Errorf("BytesMarshaled = %d", r.Stats().BytesMarshaled)
+	}
+	// NULL argument passes through.
+	out, err = r.CallByName("dbo.len", []Value{Null})
+	if !errors.Is(err, ErrNullValue) {
+		t.Errorf("null arg: %v, %v", out, err)
+	}
+}
+
+// sumAgg is a float SUM aggregate with serializable state.
+type sumAgg struct {
+	sum float64
+	n   int64
+}
+
+func (a *sumAgg) Init() { a.sum, a.n = 0, 0 }
+func (a *sumAgg) Accumulate(v Value) error {
+	f, err := v.AsFloat()
+	if err != nil {
+		return err
+	}
+	a.sum += f
+	a.n++
+	return nil
+}
+func (a *sumAgg) Terminate() (Value, error) { return FloatValue(a.sum), nil }
+func (a *sumAgg) Serialize(dst []byte) []byte {
+	var b [16]byte
+	v := marshalValue(nil, FloatValue(a.sum))
+	copy(b[:], v[1:])
+	v = marshalValue(nil, IntValue(a.n))
+	copy(b[8:], v[1:])
+	return append(dst, b[:]...)
+}
+func (a *sumAgg) Deserialize(src []byte) error {
+	if len(src) < 16 {
+		return errors.New("short state")
+	}
+	v, _, err := unmarshalValue(append([]byte{byte(ColFloat64)}, src[:8]...))
+	if err != nil {
+		return err
+	}
+	a.sum = v.F
+	v, _, err = unmarshalValue(append([]byte{byte(ColInt64)}, src[8:16]...))
+	if err != nil {
+		return err
+	}
+	a.n = v.I
+	return nil
+}
+
+func TestUDAvsDirectAggregate(t *testing.T) {
+	db := NewMemDB()
+	s, _ := NewSchema(Column{"id", ColInt64}, Column{"x", ColFloat64})
+	tbl, _ := db.CreateTable("t", s)
+	want := 0.0
+	for i := int64(0); i < 500; i++ {
+		x := float64(i) * 1.5
+		want += x
+		if err := tbl.Insert([]Value{IntValue(i), FloatValue(x)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var agg sumAgg
+	out, st, err := RunAggregateUDA(tbl, 1, &agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.F != want {
+		t.Errorf("UDA sum = %g, want %g", out.F, want)
+	}
+	if st.Rows != 500 || st.StateBytesMoved != 500*32 {
+		t.Errorf("UDA stats = %+v (state must round-trip per row)", st)
+	}
+	out2, st2, err := RunAggregateDirect(tbl, 1, &agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.F != want {
+		t.Errorf("direct sum = %g", out2.F)
+	}
+	if st2.StateBytesMoved != 0 {
+		t.Errorf("direct run must not serialize state: %+v", st2)
+	}
+}

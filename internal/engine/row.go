@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"sqlarray/internal/blob"
+)
+
+// Row wire format, per column in schema order:
+//
+//	1 byte  null flag (1 = NULL, no payload follows)
+//	BIGINT / FLOAT: 8 bytes little-endian
+//	VARBINARY(8000): uint16 length + bytes (inline — this is where short
+//	  arrays live on-page, §3.3)
+//	VARBINARY(MAX): 12-byte blob.Ref (the data lives out-of-page)
+//
+// The clustered key is additionally the B-tree key, so the row image is
+// the leaf value and the key column is also encoded inline (keeping rows
+// self-describing, like SQL Server's clustered leaf rows).
+
+// encodeRow serializes vals (in schema order) into a fresh buffer.
+// VARBINARY(MAX) values must already be converted to blob refs by the
+// table layer; here they are 12-byte encoded refs carried in Value.B.
+func encodeRow(s *Schema, vals []Value) ([]byte, error) {
+	if len(vals) != len(s.Columns) {
+		return nil, fmt.Errorf("%w: %d values for %d columns", ErrTypeError, len(vals), len(s.Columns))
+	}
+	size := 0
+	for i, c := range s.Columns {
+		size++
+		if vals[i].IsNull() {
+			continue
+		}
+		switch c.Type {
+		case ColInt64, ColFloat64:
+			size += 8
+		case ColVarBinary:
+			if len(vals[i].B) > 8000 {
+				return nil, fmt.Errorf("%w: VARBINARY(8000) value of %d bytes", ErrTypeError, len(vals[i].B))
+			}
+			size += 2 + len(vals[i].B)
+		case ColVarBinaryMax:
+			size += blob.RefSize
+		}
+	}
+	out := make([]byte, 0, size)
+	for i, c := range s.Columns {
+		v := vals[i]
+		if v.IsNull() {
+			out = append(out, 1)
+			continue
+		}
+		out = append(out, 0)
+		switch c.Type {
+		case ColInt64:
+			n, err := v.AsInt()
+			if err != nil {
+				return nil, fmt.Errorf("column %q: %w", c.Name, err)
+			}
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], uint64(n))
+			out = append(out, b[:]...)
+		case ColFloat64:
+			f, err := v.AsFloat()
+			if err != nil {
+				return nil, fmt.Errorf("column %q: %w", c.Name, err)
+			}
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+			out = append(out, b[:]...)
+		case ColVarBinary:
+			if v.Kind != ColVarBinary && v.Kind != ColVarBinaryMax {
+				return nil, fmt.Errorf("column %q: %w: %v", c.Name, ErrTypeError, v.Kind)
+			}
+			var b [2]byte
+			binary.LittleEndian.PutUint16(b[:], uint16(len(v.B)))
+			out = append(out, b[:]...)
+			out = append(out, v.B...)
+		case ColVarBinaryMax:
+			if len(v.B) != blob.RefSize {
+				return nil, fmt.Errorf("column %q: %w: MAX column wants a %d-byte ref, got %d",
+					c.Name, ErrTypeError, blob.RefSize, len(v.B))
+			}
+			out = append(out, v.B...)
+		default:
+			return nil, fmt.Errorf("column %q: %w: %v", c.Name, ErrTypeError, c.Type)
+		}
+	}
+	return out, nil
+}
+
+// RowView is a lazily-decoded row image. Column accessors decode in a
+// single forward pass cached per row, so a scan that touches only
+// column 0 never pays for the rest.
+type RowView struct {
+	schema *Schema
+	raw    []byte
+	// offs[i] is the byte offset of column i's null flag; computed on
+	// first access past the current frontier.
+	offs    []int
+	decoded int // number of entries valid in offs
+}
+
+// resetRowView re-targets a view at a new raw row, reusing the offsets
+// slice (scans allocate one view for the whole pass).
+func (r *RowView) reset(s *Schema, raw []byte) {
+	r.schema = s
+	r.raw = raw
+	if cap(r.offs) < len(s.Columns) {
+		r.offs = make([]int, len(s.Columns))
+	}
+	r.offs = r.offs[:len(s.Columns)]
+	r.offs[0] = 0
+	r.decoded = 1
+}
+
+// advanceTo ensures offs[i] is computed.
+func (r *RowView) advanceTo(i int) error {
+	for r.decoded <= i {
+		k := r.decoded - 1 // last known column
+		off := r.offs[k]
+		if off >= len(r.raw) {
+			return fmt.Errorf("engine: row truncated at column %d", k)
+		}
+		null := r.raw[off] == 1
+		off++
+		if !null {
+			switch r.schema.Columns[k].Type {
+			case ColInt64, ColFloat64:
+				off += 8
+			case ColVarBinary:
+				if off+2 > len(r.raw) {
+					return fmt.Errorf("engine: row truncated in column %d", k)
+				}
+				off += 2 + int(binary.LittleEndian.Uint16(r.raw[off:]))
+			case ColVarBinaryMax:
+				off += blob.RefSize
+			}
+		}
+		r.offs[r.decoded] = off
+		r.decoded++
+	}
+	return nil
+}
+
+// Col decodes column i. VARBINARY values alias the row buffer (valid only
+// while the underlying page is pinned, i.e. within the scan callback);
+// VARBINARY(MAX) yields the 12-byte ref — use Table.FetchBlob to load it.
+func (r *RowView) Col(i int) (Value, error) {
+	if i < 0 || i >= len(r.schema.Columns) {
+		return Null, fmt.Errorf("%w: index %d", ErrNoColumn, i)
+	}
+	if err := r.advanceTo(i); err != nil {
+		return Null, err
+	}
+	off := r.offs[i]
+	if off >= len(r.raw) {
+		return Null, fmt.Errorf("engine: row truncated at column %d", i)
+	}
+	if r.raw[off] == 1 {
+		return Null, nil
+	}
+	off++
+	c := r.schema.Columns[i]
+	switch c.Type {
+	case ColInt64:
+		return IntValue(int64(binary.LittleEndian.Uint64(r.raw[off:]))), nil
+	case ColFloat64:
+		return FloatValue(math.Float64frombits(binary.LittleEndian.Uint64(r.raw[off:]))), nil
+	case ColVarBinary:
+		n := int(binary.LittleEndian.Uint16(r.raw[off:]))
+		return BinaryValue(r.raw[off+2 : off+2+n]), nil
+	case ColVarBinaryMax:
+		return BinaryMaxValue(r.raw[off : off+blob.RefSize]), nil
+	}
+	return Null, fmt.Errorf("%w: column %d type %v", ErrTypeError, i, c.Type)
+}
+
+// Raw returns the undecoded row image.
+func (r *RowView) Raw() []byte { return r.raw }

@@ -1,0 +1,167 @@
+package engine
+
+import (
+	"fmt"
+
+	"sqlarray/internal/blob"
+	"sqlarray/internal/btree"
+)
+
+// Table is a clustered table: rows live in B-tree leaves ordered by the
+// BIGINT key column, exactly the layout Table 1's queries scan.
+type Table struct {
+	db        *DB
+	name      string
+	schema    Schema
+	tree      *btree.Tree
+	rows      int64
+	rowBytes  int64 // sum of row-image sizes (excludes out-of-page blobs)
+	blobBytes int64 // bytes pushed out of page
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *Schema { return &t.schema }
+
+// Rows returns the row count.
+func (t *Table) Rows() int64 { return t.rows }
+
+// Insert adds a row. VARBINARY(MAX) values are written to the blob store
+// and replaced by their refs before the row image is built; everything
+// else is stored inline on the page.
+func (t *Table) Insert(vals []Value) error {
+	if len(vals) != len(t.schema.Columns) {
+		return fmt.Errorf("%w: %d values for %d columns", ErrTypeError, len(vals), len(t.schema.Columns))
+	}
+	key, err := vals[t.schema.Key].AsInt()
+	if err != nil {
+		return fmt.Errorf("engine: clustered key: %w", err)
+	}
+	stored := vals
+	copied := false
+	for i, c := range t.schema.Columns {
+		if c.Type != ColVarBinaryMax || vals[i].IsNull() {
+			continue
+		}
+		if !copied {
+			stored = append([]Value(nil), vals...)
+			copied = true
+		}
+		ref, err := t.db.blobs.Write(vals[i].B)
+		if err != nil {
+			return fmt.Errorf("engine: writing MAX column %q: %w", c.Name, err)
+		}
+		enc := make([]byte, blob.RefSize)
+		ref.Encode(enc)
+		stored[i] = BinaryMaxValue(enc)
+		t.blobBytes += int64(len(vals[i].B))
+	}
+	raw, err := encodeRow(&t.schema, stored)
+	if err != nil {
+		return err
+	}
+	if len(raw) > btree.MaxValueSize {
+		return fmt.Errorf("%w: %d bytes", ErrRowTooWide, len(raw))
+	}
+	if err := t.tree.Insert(key, raw); err != nil {
+		return err
+	}
+	t.rows++
+	t.rowBytes += int64(len(raw))
+	return nil
+}
+
+// Get fetches the row with the given clustered key, fully decoded.
+func (t *Table) Get(key int64) ([]Value, error) {
+	raw, err := t.tree.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	var rv RowView
+	rv.reset(&t.schema, raw)
+	out := make([]Value, len(t.schema.Columns))
+	for i := range out {
+		v, err := rv.Col(i)
+		if err != nil {
+			return nil, err
+		}
+		// Values alias raw, which we own here (tree.Get copies), so the
+		// caller may retain them.
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Scan performs a clustered index scan, invoking fn for every row in key
+// order. The RowView (and any binary Values decoded from it) is only
+// valid inside the callback. Returning false stops the scan.
+func (t *Table) Scan(fn func(key int64, row *RowView) (bool, error)) error {
+	it, err := t.tree.Scan()
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	var rv RowView
+	for it.Next() {
+		rv.reset(&t.schema, it.Value())
+		ok, err := fn(it.Key(), &rv)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+	return it.Err()
+}
+
+// FetchBlob materializes a VARBINARY(MAX) column value (a 12-byte ref,
+// as returned by RowView.Col) into its full bytes.
+func (t *Table) FetchBlob(refBytes []byte) ([]byte, error) {
+	ref, err := blob.DecodeRef(refBytes)
+	if err != nil {
+		return nil, err
+	}
+	return t.db.blobs.ReadAll(ref)
+}
+
+// OpenBlob returns the stream wrapper over a MAX column value, for
+// partial reads.
+func (t *Table) OpenBlob(refBytes []byte) (*blob.Stream, error) {
+	ref, err := blob.DecodeRef(refBytes)
+	if err != nil {
+		return nil, err
+	}
+	return t.db.blobs.Open(ref), nil
+}
+
+// TableStats summarizes a table's storage footprint; the Table 1 harness
+// uses it for the "43 % bigger" comparison (§6.2).
+type TableStats struct {
+	Rows       int64
+	RowBytes   int64 // on-page row images
+	BlobBytes  int64 // out-of-page blob payloads
+	LeafPages  int   // clustered-index leaf pages
+	TreeHeight int
+}
+
+// Stats walks the leaf chain to count pages and returns the footprint.
+func (t *Table) Stats() (TableStats, error) {
+	leaves, err := t.countLeafPages()
+	if err != nil {
+		return TableStats{}, err
+	}
+	return TableStats{
+		Rows:       t.rows,
+		RowBytes:   t.rowBytes,
+		BlobBytes:  t.blobBytes,
+		LeafPages:  leaves,
+		TreeHeight: t.tree.Height(),
+	}, nil
+}
+
+func (t *Table) countLeafPages() (int, error) {
+	return t.tree.LeafPageCount()
+}

@@ -1,0 +1,102 @@
+package engine
+
+import "fmt"
+
+// This file reproduces the paper's §4.2 finding about user-defined
+// aggregates: "independently of the aggregate function internal storage
+// requirements, the state of aggregation had to be serialized via a
+// binary stream interface for each row processed by the aggregation.
+// This turned out to be prohibitive."
+//
+// Aggregate implementations provide Init/Accumulate/Terminate plus
+// state (de)serialization. RunAggregateUDA performs the faithful SQL
+// Server protocol — serialize + deserialize the whole state around every
+// row — while RunAggregateDirect is the paper's workaround (§4.2): a
+// plain function that drives the scan itself and keeps its state in
+// memory.
+
+// Aggregate is a user-defined aggregate in the SQLCLR mould.
+type Aggregate interface {
+	// Init resets the aggregate state.
+	Init()
+	// Accumulate folds one input value into the state.
+	Accumulate(v Value) error
+	// Terminate produces the aggregate result.
+	Terminate() (Value, error)
+	// Serialize appends the state to dst (the per-row stream write).
+	Serialize(dst []byte) []byte
+	// Deserialize replaces the state from its serialized form.
+	Deserialize(src []byte) error
+}
+
+// UDAStats reports the serialization traffic a UDA run generated.
+type UDAStats struct {
+	Rows            uint64
+	StateBytesMoved uint64
+}
+
+// RunAggregateUDA evaluates agg over column col of every row in t using
+// the SQL Server UDA protocol: the aggregation state is round-tripped
+// through its serialized form for every processed row.
+func RunAggregateUDA(t *Table, col int, agg Aggregate) (Value, UDAStats, error) {
+	if col < 0 || col >= len(t.schema.Columns) {
+		return Null, UDAStats{}, fmt.Errorf("%w: index %d", ErrNoColumn, col)
+	}
+	agg.Init()
+	var stats UDAStats
+	state := agg.Serialize(nil)
+	err := t.Scan(func(key int64, row *RowView) (bool, error) {
+		// The engine hands the stored state back to the CLR object...
+		if err := agg.Deserialize(state); err != nil {
+			return false, err
+		}
+		v, err := row.Col(col)
+		if err != nil {
+			return false, err
+		}
+		if err := agg.Accumulate(v); err != nil {
+			return false, err
+		}
+		// ...and persists it again after the row.
+		state = agg.Serialize(state[:0])
+		stats.Rows++
+		stats.StateBytesMoved += 2 * uint64(len(state))
+		return true, nil
+	})
+	if err != nil {
+		return Null, stats, err
+	}
+	if err := agg.Deserialize(state); err != nil {
+		return Null, stats, err
+	}
+	out, err := agg.Terminate()
+	return out, stats, err
+}
+
+// RunAggregateDirect evaluates agg over column col driving the scan from
+// a plain function, keeping state in memory — the paper's faster
+// replacement ("we wrote plain SQL CLR scalar functions that take a SQL
+// query as an input parameter ... aggregate rows sequentially").
+func RunAggregateDirect(t *Table, col int, agg Aggregate) (Value, UDAStats, error) {
+	if col < 0 || col >= len(t.schema.Columns) {
+		return Null, UDAStats{}, fmt.Errorf("%w: index %d", ErrNoColumn, col)
+	}
+	agg.Init()
+	var stats UDAStats
+	err := t.Scan(func(key int64, row *RowView) (bool, error) {
+		v, err := row.Col(col)
+		if err != nil {
+			return false, err
+		}
+		if err := agg.Accumulate(v); err != nil {
+			return false, err
+		}
+		stats.Rows++
+		return true, nil
+	})
+	if err != nil {
+		return Null, stats, err
+	}
+	out, err := agg.Terminate()
+	return out, stats, err
+}

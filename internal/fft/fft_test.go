@@ -1,0 +1,295 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func maxErr(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func randComplex(rng *rand.Rand, n int) []complex128 {
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return out
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 17, 32, 100, 128, 243} {
+		src := randComplex(rng, n)
+		got, err := FFT(src)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := DFTNaive(src, Forward)
+		if e := maxErr(got, want); e > 1e-9*float64(n) {
+			t.Errorf("n=%d: max error %g", n, e)
+		}
+	}
+}
+
+func TestInverseIsIdentityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func() bool {
+		n := 1 + rng.Intn(200)
+		src := randComplex(rng, n)
+		freq, err := FFT(src)
+		if err != nil {
+			return false
+		}
+		back, err := IFFT(freq)
+		if err != nil {
+			return false
+		}
+		return maxErr(src, back) < 1e-9*float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{16, 37, 64, 129} {
+		src := randComplex(rng, n)
+		freq, err := FFT(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var et, ef float64
+		for i := 0; i < n; i++ {
+			et += real(src[i])*real(src[i]) + imag(src[i])*imag(src[i])
+			ef += real(freq[i])*real(freq[i]) + imag(freq[i])*imag(freq[i])
+		}
+		if math.Abs(et-ef/float64(n)) > 1e-8*et {
+			t.Errorf("n=%d: Parseval violated: %g vs %g", n, et, ef/float64(n))
+		}
+	}
+}
+
+func TestPureToneSpectrum(t *testing.T) {
+	const n = 64
+	const bin = 5
+	src := make([]complex128, n)
+	for i := range src {
+		ang := 2 * math.Pi * bin * float64(i) / n
+		src[i] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	freq, err := FFT(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range freq {
+		want := 0.0
+		if k == bin {
+			want = n
+		}
+		if math.Abs(cmplx.Abs(freq[k])-want) > 1e-9 {
+			t.Errorf("bin %d amplitude = %g, want %g", k, cmplx.Abs(freq[k]), want)
+		}
+	}
+}
+
+func TestFFTRealConjugateSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	src := make([]float64, 48)
+	for i := range src {
+		src[i] = rng.NormFloat64()
+	}
+	freq, err := FFTReal(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(src)
+	for k := 1; k < n; k++ {
+		if cmplx.Abs(freq[k]-cmplx.Conj(freq[n-k])) > 1e-9 {
+			t.Errorf("hermitian symmetry broken at %d", k)
+		}
+	}
+}
+
+func TestPlanReuseAndAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p, err := NewPlan(64, Forward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 64 {
+		t.Errorf("Len = %d", p.Len())
+	}
+	for trial := 0; trial < 5; trial++ {
+		src := randComplex(rng, 64)
+		want := DFTNaive(src, Forward)
+		// In-place execution (dst aliases src).
+		if err := p.Execute(src, src); err != nil {
+			t.Fatal(err)
+		}
+		if e := maxErr(src, want); e > 1e-9 {
+			t.Errorf("trial %d: in-place error %g", trial, e)
+		}
+	}
+	if err := p.Execute(make([]complex128, 32), make([]complex128, 64)); err == nil {
+		t.Error("size mismatch must fail")
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	if _, err := NewPlan(0, Forward); err == nil {
+		t.Error("zero size must fail")
+	}
+	if _, err := NewPlan(-4, Inverse); err == nil {
+		t.Error("negative size must fail")
+	}
+	if _, err := FFT(nil); err == nil {
+		t.Error("empty FFT must fail")
+	}
+}
+
+func TestFFTNRoundtrip3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	dims := []int{8, 6, 5}
+	n := 8 * 6 * 5
+	src := randComplex(rng, n)
+	data := append([]complex128(nil), src...)
+	if err := FFTN(data, dims, Forward); err != nil {
+		t.Fatal(err)
+	}
+	if err := FFTN(data, dims, Inverse); err != nil {
+		t.Fatal(err)
+	}
+	if e := maxErr(data, src); e > 1e-9 {
+		t.Errorf("3D roundtrip error %g", e)
+	}
+}
+
+func TestFFTNMatchesPerAxisNaive2D(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	nx, ny := 4, 3
+	src := randComplex(rng, nx*ny)
+	got := append([]complex128(nil), src...)
+	if err := FFTN(got, []int{nx, ny}, Forward); err != nil {
+		t.Fatal(err)
+	}
+	// Naive 2D DFT.
+	want := make([]complex128, nx*ny)
+	for kx := 0; kx < nx; kx++ {
+		for ky := 0; ky < ny; ky++ {
+			var sum complex128
+			for x := 0; x < nx; x++ {
+				for y := 0; y < ny; y++ {
+					ang := -2 * math.Pi * (float64(kx*x)/float64(nx) + float64(ky*y)/float64(ny))
+					s, c := math.Sincos(ang)
+					sum += src[y*nx+x] * complex(c, s)
+				}
+			}
+			want[ky*nx+kx] = sum
+		}
+	}
+	if e := maxErr(got, want); e > 1e-9 {
+		t.Errorf("2D error %g", e)
+	}
+}
+
+func TestFFTAxesSingleAxis(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	dims := []int{8, 4}
+	src := randComplex(rng, 32)
+	data := append([]complex128(nil), src...)
+	if err := FFTAxes(data, dims, Forward, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	// Each column (fixed second index) must equal its own 1-D DFT.
+	for c := 0; c < 4; c++ {
+		col := src[c*8 : (c+1)*8]
+		want := DFTNaive(col, Forward)
+		if e := maxErr(data[c*8:(c+1)*8], want); e > 1e-9 {
+			t.Errorf("column %d error %g", c, e)
+		}
+	}
+	if err := FFTAxes(data, dims, Forward, []int{2}); err == nil {
+		t.Error("bad axis must fail")
+	}
+	if err := FFTN(data, []int{5, 5}, Forward); err == nil {
+		t.Error("dims/data mismatch must fail")
+	}
+	if err := FFTN(data, []int{-1}, Forward); err == nil {
+		t.Error("negative dim must fail")
+	}
+}
+
+func TestPowerSpectrumDeltaField(t *testing.T) {
+	// A constant field has all its power at k=0.
+	const n = 8
+	f := make([]complex128, n*n*n)
+	for i := range f {
+		f[i] = 1
+	}
+	if err := FFTN(f, []int{n, n, n}, Forward); err != nil {
+		t.Fatal(err)
+	}
+	p, counts, err := PowerSpectrum3D(f, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] == 0 {
+		t.Error("k=0 power must be non-zero for constant field")
+	}
+	for k := 1; k < len(p); k++ {
+		if p[k] > 1e-12 {
+			t.Errorf("k=%d power = %g, want 0", k, p[k])
+		}
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total > n*n*n {
+		t.Errorf("binned %d modes out of %d", total, n*n*n)
+	}
+	if _, _, err := PowerSpectrum3D(f, n+1); err == nil {
+		t.Error("size mismatch must fail")
+	}
+}
+
+func TestPowerSpectrumSingleMode(t *testing.T) {
+	const n = 16
+	f := make([]complex128, n*n*n)
+	// A plane wave along x with |k|=3.
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				ang := 2 * math.Pi * 3 * float64(x) / n
+				f[(z*n+y)*n+x] = complex(math.Cos(ang), 0)
+			}
+		}
+	}
+	if err := FFTN(f, []int{n, n, n}, Forward); err != nil {
+		t.Fatal(err)
+	}
+	p, _, err := PowerSpectrum3D(f, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := 0
+	for k := 1; k < len(p); k++ {
+		if p[k] > p[peak] {
+			peak = k
+		}
+	}
+	if peak != 3 {
+		t.Errorf("power peak at k=%d, want 3", peak)
+	}
+}

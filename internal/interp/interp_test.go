@@ -1,0 +1,252 @@
+package interp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSchemeMetadata(t *testing.T) {
+	cases := []struct {
+		s      Scheme
+		points int
+	}{{Nearest, 1}, {Linear, 2}, {PCHIP, 4}, {Lag4, 4}, {Lag6, 6}, {Lag8, 8}}
+	for _, c := range cases {
+		if c.s.Points() != c.points {
+			t.Errorf("%v.Points() = %d, want %d", c.s, c.s.Points(), c.points)
+		}
+		if c.s.String() == "" {
+			t.Errorf("%v has empty name", c.s)
+		}
+	}
+}
+
+func TestLagrangeWeightsPartitionOfUnity(t *testing.T) {
+	for _, np := range []int{4, 6, 8} {
+		for _, tt := range []float64{0, 0.25, 0.5, 0.9} {
+			w := make([]float64, np)
+			lagrangeWeights(np, tt, w)
+			sum := 0.0
+			for _, v := range w {
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-12 {
+				t.Errorf("np=%d t=%g: weights sum to %g", np, tt, sum)
+			}
+		}
+	}
+}
+
+func TestInterpolationExactAtNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]float64, 32)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	for _, s := range []Scheme{Nearest, Linear, PCHIP, Lag4, Lag6, Lag8} {
+		for i := 0; i < len(data); i++ {
+			got := Periodic1D(data, float64(i), s)
+			if math.Abs(got-data[i]) > 1e-12 {
+				t.Errorf("%v at node %d: %g, want %g", s, i, got, data[i])
+			}
+		}
+	}
+}
+
+func TestPolynomialReproduction(t *testing.T) {
+	// A degree-(np-1) Lagrange stencil reproduces polynomials of that
+	// degree exactly. Use a cubic on Lag4/Lag6/Lag8 interior points.
+	n := 64
+	cubic := func(x float64) float64 { return 0.5 + 0.25*x + 0.1*x*x - 0.002*x*x*x }
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = cubic(float64(i))
+	}
+	for _, s := range []Scheme{Lag4, Lag6, Lag8} {
+		for _, x := range []float64{20.3, 25.75, 30.5} {
+			got := Periodic1D(data, x, s)
+			want := cubic(x)
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("%v at %g: %g, want %g", s, x, got, want)
+			}
+		}
+	}
+}
+
+func TestHigherOrderConvergesOnSmoothSignal(t *testing.T) {
+	// Interpolating a sine off-grid: error(Lag8) < error(Lag4) < error(Linear).
+	n := 32
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = math.Sin(2 * math.Pi * float64(i) / float64(n))
+	}
+	truth := func(x float64) float64 { return math.Sin(2 * math.Pi * x / float64(n)) }
+	maxErrFor := func(s Scheme) float64 {
+		worst := 0.0
+		for k := 0; k < 200; k++ {
+			x := float64(k) * float64(n) / 200
+			if e := math.Abs(Periodic1D(data, x, s) - truth(x)); e > worst {
+				worst = e
+			}
+		}
+		return worst
+	}
+	eLin, e4, e8 := maxErrFor(Linear), maxErrFor(Lag4), maxErrFor(Lag8)
+	if !(e8 < e4 && e4 < eLin) {
+		t.Errorf("errors not ordered: linear %g, lag4 %g, lag8 %g", eLin, e4, e8)
+	}
+}
+
+func TestPeriodicWrapping(t *testing.T) {
+	data := []float64{1, 2, 3, 4}
+	for _, s := range []Scheme{Linear, Lag4, PCHIP} {
+		a := Periodic1D(data, 0.5, s)
+		b := Periodic1D(data, 4.5, s)  // one period later
+		c := Periodic1D(data, -3.5, s) // one period earlier
+		if math.Abs(a-b) > 1e-12 || math.Abs(a-c) > 1e-12 {
+			t.Errorf("%v: wrap mismatch %g / %g / %g", s, a, b, c)
+		}
+	}
+	if !math.IsNaN(Periodic1D(nil, 0, Linear)) {
+		t.Error("empty data must yield NaN")
+	}
+}
+
+func TestPCHIPMonotonicityPreserved(t *testing.T) {
+	// Monotone data: PCHIP must not overshoot, unlike Lagrange.
+	data := []float64{0, 0, 0, 1, 1, 1, 2, 8, 8, 8}
+	xs, ys := make([]float64, len(data)), data
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	prev := math.Inf(-1)
+	for k := 0; k <= 90; k++ {
+		x := float64(k) / 10
+		v, err := NonUniform1D(xs, ys, x, PCHIP)
+		if err != nil {
+			t.Fatalf("at %g: %v", x, err)
+		}
+		if v < prev-1e-12 {
+			t.Fatalf("PCHIP not monotone at %g: %g < %g", x, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestNonUniform1D(t *testing.T) {
+	xs := []float64{0, 1, 3, 6, 10}
+	ys := []float64{0, 2, 6, 12, 20} // y = 2x: linear, all schemes exact
+	for _, s := range []Scheme{Linear, PCHIP} {
+		for _, x := range []float64{0, 0.5, 2, 5.5, 10} {
+			v, err := NonUniform1D(xs, ys, x, s)
+			if err != nil {
+				t.Fatalf("%v at %g: %v", s, x, err)
+			}
+			if math.Abs(v-2*x) > 1e-12 {
+				t.Errorf("%v at %g: %g, want %g", s, x, v, 2*x)
+			}
+		}
+	}
+	if _, err := NonUniform1D(xs, ys, -1, Linear); !errors.Is(err, ErrDomain) {
+		t.Errorf("below domain: %v", err)
+	}
+	if _, err := NonUniform1D(xs, ys, 11, Linear); !errors.Is(err, ErrDomain) {
+		t.Errorf("above domain: %v", err)
+	}
+	if _, err := NonUniform1D(xs, ys[:2], 1, Linear); err == nil {
+		t.Error("length mismatch must fail")
+	}
+	if _, err := NonUniform1D(xs, ys, 1, Lag8); err == nil {
+		t.Error("unsupported scheme must fail")
+	}
+	// Nearest picks the closer node.
+	v, _ := NonUniform1D(xs, ys, 0.4, Nearest)
+	if v != 0 {
+		t.Errorf("nearest(0.4) = %g", v)
+	}
+	v, _ = NonUniform1D(xs, ys, 0.6, Nearest)
+	if v != 2 {
+		t.Errorf("nearest(0.6) = %g", v)
+	}
+}
+
+func TestGrid3DSampleExactAtNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 8
+	data := make([]float64, n*n*n)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	g, err := NewGrid3D(n, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Scheme{Nearest, Linear, Lag4, Lag6, Lag8} {
+		for trial := 0; trial < 20; trial++ {
+			x, y, z := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+			got := g.Sample(float64(x), float64(y), float64(z), s)
+			want := g.At(x, y, z)
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("%v at (%d,%d,%d): %g, want %g", s, x, y, z, got, want)
+			}
+		}
+	}
+	if _, err := NewGrid3D(3, data); err == nil {
+		t.Error("bad grid size must fail")
+	}
+}
+
+func TestGrid3DTrilinearKnown(t *testing.T) {
+	// f(x,y,z) = x + 10y + 100z is trilinear: Linear sampling is exact.
+	n := 4
+	data := make([]float64, n*n*n)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				data[(z*n+y)*n+x] = float64(x) + 10*float64(y) + 100*float64(z)
+			}
+		}
+	}
+	g, _ := NewGrid3D(n, data)
+	got := g.Sample(1.5, 0.25, 2.75, Linear)
+	want := 1.5 + 10*0.25 + 100*2.75
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("trilinear = %g, want %g", got, want)
+	}
+}
+
+func TestGrid3DSmoothFieldAccuracy(t *testing.T) {
+	// An 8-point kernel on a band-limited field: error far below linear.
+	n := 16
+	f := func(x, y, z float64) float64 {
+		k := 2 * math.Pi / float64(n)
+		return math.Sin(k*x)*math.Cos(2*k*y) + 0.5*math.Sin(k*z)
+	}
+	data := make([]float64, n*n*n)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				data[(z*n+y)*n+x] = f(float64(x), float64(y), float64(z))
+			}
+		}
+	}
+	g, _ := NewGrid3D(n, data)
+	rng := rand.New(rand.NewSource(3))
+	var eLin, e8 float64
+	for trial := 0; trial < 100; trial++ {
+		x := rng.Float64() * float64(n)
+		y := rng.Float64() * float64(n)
+		z := rng.Float64() * float64(n)
+		want := f(x, y, z)
+		if e := math.Abs(g.Sample(x, y, z, Linear) - want); e > eLin {
+			eLin = e
+		}
+		if e := math.Abs(g.Sample(x, y, z, Lag8) - want); e > e8 {
+			e8 = e
+		}
+	}
+	if e8 > eLin/10 {
+		t.Errorf("Lag8 error %g not clearly better than linear %g", e8, eLin)
+	}
+}

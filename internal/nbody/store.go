@@ -1,0 +1,229 @@
+package nbody
+
+import (
+	"fmt"
+	"sort"
+
+	"sqlarray/internal/core"
+	"sqlarray/internal/engine"
+	"sqlarray/internal/octree"
+	"sqlarray/internal/sfc"
+)
+
+// BucketStore persists a snapshot as array-valued bucket rows: the
+// paper's answer to "it does not seem feasible to store the particle
+// data broken down into individual rows" (§2.3). Particles are grouped
+// by an octree, buckets are ordered along the z-curve, and each row
+// carries three arrays (ids, positions, velocities).
+type BucketStore struct {
+	db    *engine.DB
+	table *engine.Table
+}
+
+// CreateBucketStore builds the bucket table and ingests the snapshot
+// with the given bucket capacity.
+func CreateBucketStore(db *engine.DB, name string, snap *Snapshot, bucketSize int) (*BucketStore, error) {
+	schema, err := engine.NewSchema(
+		engine.Column{Name: "bkey", Type: engine.ColInt64},
+		engine.Column{Name: "ids", Type: engine.ColVarBinaryMax},
+		engine.Column{Name: "pos", Type: engine.ColVarBinaryMax},
+		engine.Column{Name: "vel", Type: engine.ColVarBinaryMax},
+	)
+	if err != nil {
+		return nil, err
+	}
+	table, err := db.CreateTable(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	bs := &BucketStore{db: db, table: table}
+	if err := bs.AddSnapshot(snap, bucketSize); err != nil {
+		return nil, err
+	}
+	return bs, nil
+}
+
+// bucket is one octree leaf pending storage.
+type bucket struct {
+	zcode uint64
+	parts []Particle
+}
+
+// AddSnapshot bucketizes and stores one snapshot. Row keys are
+// (step << 44) | zOrderRank so a snapshot scan walks the z-curve.
+func (bs *BucketStore) AddSnapshot(snap *Snapshot, bucketSize int) error {
+	if bucketSize < 1 {
+		return fmt.Errorf("nbody: bucket size %d", bucketSize)
+	}
+	tree := octree.New(bucketSize)
+	byID := make(map[int64]*Particle, len(snap.Particles))
+	for i := range snap.Particles {
+		p := &snap.Particles[i]
+		byID[p.ID] = p
+		if err := tree.Insert(octree.Point{X: p.Pos[0], Y: p.Pos[1], Z: p.Pos[2], ID: p.ID}); err != nil {
+			return err
+		}
+	}
+	var buckets []bucket
+	tree.Buckets(func(x0, y0, z0, size float64, pts []octree.Point) bool {
+		const res = 1 << 20
+		code, err := sfc.Encode3D(uint32(x0*res), uint32(y0*res), uint32(z0*res))
+		if err != nil {
+			code = 0
+		}
+		b := bucket{zcode: code, parts: make([]Particle, len(pts))}
+		for i, pt := range pts {
+			b.parts[i] = *byID[pt.ID]
+		}
+		buckets = append(buckets, b)
+		return true
+	})
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].zcode < buckets[j].zcode })
+	for rank, b := range buckets {
+		key := int64(snap.Step)<<44 | int64(rank)
+		row, err := encodeBucket(b.parts)
+		if err != nil {
+			return err
+		}
+		if err := bs.table.Insert(append([]engine.Value{engine.IntValue(key)}, row...)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// encodeBucket packs particles into the three array blobs: ids as a
+// bigint vector, pos and vel as (n, 3) float64 arrays.
+func encodeBucket(parts []Particle) ([]engine.Value, error) {
+	n := len(parts)
+	ids := make([]int64, n)
+	pos := make([]float64, n*3)
+	vel := make([]float64, n*3)
+	for i, p := range parts {
+		ids[i] = p.ID
+		for d := 0; d < 3; d++ {
+			// Column-major (n,3): element (i,d) at i + d*n.
+			pos[i+d*n] = p.Pos[d]
+			vel[i+d*n] = p.Vel[d]
+		}
+	}
+	idArr, err := core.FromInt64s(core.Max, core.Int64, ids, n)
+	if err != nil {
+		return nil, err
+	}
+	posArr, err := core.FromFloat64s(core.Max, core.Float64, pos, n, 3)
+	if err != nil {
+		return nil, err
+	}
+	velArr, err := core.FromFloat64s(core.Max, core.Float64, vel, n, 3)
+	if err != nil {
+		return nil, err
+	}
+	return []engine.Value{
+		engine.BinaryMaxValue(idArr.Bytes()),
+		engine.BinaryMaxValue(posArr.Bytes()),
+		engine.BinaryMaxValue(velArr.Bytes()),
+	}, nil
+}
+
+// Table exposes the bucket table.
+func (bs *BucketStore) Table() *engine.Table { return bs.table }
+
+// LoadSnapshot reassembles the particles of one step (order follows the
+// z-curve, not particle ID).
+func (bs *BucketStore) LoadSnapshot(step int) (*Snapshot, error) {
+	lo := int64(step) << 44
+	hi := int64(step+1) << 44
+	snap := &Snapshot{Step: step}
+	var keys []int64
+	err := bs.table.Scan(func(key int64, _ *engine.RowView) (bool, error) {
+		if key >= lo && key < hi {
+			keys = append(keys, key)
+		}
+		return key < hi, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, key := range keys {
+		row, err := bs.table.Get(key)
+		if err != nil {
+			return nil, err
+		}
+		parts, err := bs.decodeBucket(row)
+		if err != nil {
+			return nil, err
+		}
+		snap.Particles = append(snap.Particles, parts...)
+	}
+	return snap, nil
+}
+
+func (bs *BucketStore) decodeBucket(row []engine.Value) ([]Particle, error) {
+	arrs := make([]*core.Array, 3)
+	for i := 0; i < 3; i++ {
+		raw, err := bs.table.FetchBlob(row[1+i].B)
+		if err != nil {
+			return nil, err
+		}
+		a, err := core.Wrap(raw)
+		if err != nil {
+			return nil, err
+		}
+		arrs[i] = a
+	}
+	n := arrs[0].Len()
+	if arrs[1].Rank() != 2 || arrs[1].Dim(0) != n || arrs[2].Dim(0) != n {
+		return nil, fmt.Errorf("nbody: inconsistent bucket arrays")
+	}
+	out := make([]Particle, n)
+	for i := 0; i < n; i++ {
+		out[i].ID = arrs[0].IntAt(i)
+		for d := 0; d < 3; d++ {
+			out[i].Pos[d] = arrs[1].FloatAt(i + d*n)
+			out[i].Vel[d] = arrs[2].FloatAt(i + d*n)
+		}
+	}
+	return out, nil
+}
+
+// RowStore is the strawman the paper rejects: one row per particle per
+// snapshot. Implemented for the storage comparison (E12).
+type RowStore struct {
+	table *engine.Table
+}
+
+// CreateRowStore ingests a snapshot row by row.
+func CreateRowStore(db *engine.DB, name string, snap *Snapshot) (*RowStore, error) {
+	schema, err := engine.NewSchema(
+		engine.Column{Name: "pid", Type: engine.ColInt64},
+		engine.Column{Name: "x", Type: engine.ColFloat64},
+		engine.Column{Name: "y", Type: engine.ColFloat64},
+		engine.Column{Name: "z", Type: engine.ColFloat64},
+		engine.Column{Name: "vx", Type: engine.ColFloat64},
+		engine.Column{Name: "vy", Type: engine.ColFloat64},
+		engine.Column{Name: "vz", Type: engine.ColFloat64},
+	)
+	if err != nil {
+		return nil, err
+	}
+	table, err := db.CreateTable(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range snap.Particles {
+		key := int64(snap.Step)<<44 | p.ID
+		err := table.Insert([]engine.Value{
+			engine.IntValue(key),
+			engine.FloatValue(p.Pos[0]), engine.FloatValue(p.Pos[1]), engine.FloatValue(p.Pos[2]),
+			engine.FloatValue(p.Vel[0]), engine.FloatValue(p.Vel[1]), engine.FloatValue(p.Vel[2]),
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &RowStore{table: table}, nil
+}
+
+// Table exposes the per-particle table.
+func (rs *RowStore) Table() *engine.Table { return rs.table }

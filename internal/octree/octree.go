@@ -1,0 +1,339 @@
+// Package octree implements a point octree over the unit cube: the
+// spatial index the paper's N-body use case calls for (§2.3 — "arrange
+// the data in coherent chunks organized into a spatial octree, not
+// necessarily balanced", bucketized so "an order of a few thousand
+// particles per bucket" reduces row counts by orders of magnitude),
+// plus the decimated multi-resolution particle sets used for
+// visualization and geometric queries (cones for light-cones, spheres
+// and boxes).
+package octree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Point is one particle: position in [0,1)³ plus a caller identifier.
+type Point struct {
+	X, Y, Z float64
+	ID      int64
+}
+
+// ErrBounds reports a point outside the unit cube.
+var ErrBounds = errors.New("octree: point outside unit cube")
+
+// Tree is a bucketized point octree. Leaves hold up to BucketSize points;
+// inserting into a full leaf splits it (unless MaxDepth is reached, in
+// which case the bucket grows unboundedly — the tree is "not necessarily
+// balanced").
+type Tree struct {
+	BucketSize int
+	MaxDepth   int
+	root       *treeNode
+	count      int
+}
+
+type treeNode struct {
+	// Cube covered: [x0, x0+size) etc.
+	x0, y0, z0 float64
+	size       float64
+	depth      int
+	pts        []Point // leaf payload (nil for internal nodes after split)
+	kids       *[8]*treeNode
+}
+
+// New creates an empty octree with the given leaf capacity.
+func New(bucketSize int) *Tree {
+	if bucketSize < 1 {
+		bucketSize = 1
+	}
+	return &Tree{
+		BucketSize: bucketSize,
+		MaxDepth:   21,
+		root:       &treeNode{size: 1},
+	}
+}
+
+// Len returns the number of stored points.
+func (t *Tree) Len() int { return t.count }
+
+// Insert adds a point.
+func (t *Tree) Insert(p Point) error {
+	if p.X < 0 || p.X >= 1 || p.Y < 0 || p.Y >= 1 || p.Z < 0 || p.Z >= 1 {
+		return fmt.Errorf("%w: (%g,%g,%g)", ErrBounds, p.X, p.Y, p.Z)
+	}
+	n := t.root
+	for n.kids != nil {
+		n = n.childFor(p)
+	}
+	n.pts = append(n.pts, p)
+	t.count++
+	if len(n.pts) > t.BucketSize && n.depth < t.MaxDepth {
+		t.split(n)
+	}
+	return nil
+}
+
+func (n *treeNode) childFor(p Point) *treeNode {
+	half := n.size / 2
+	oct := 0
+	if p.X >= n.x0+half {
+		oct |= 1
+	}
+	if p.Y >= n.y0+half {
+		oct |= 2
+	}
+	if p.Z >= n.z0+half {
+		oct |= 4
+	}
+	return n.kids[oct]
+}
+
+func (t *Tree) split(n *treeNode) {
+	half := n.size / 2
+	var kids [8]*treeNode
+	for oct := 0; oct < 8; oct++ {
+		kids[oct] = &treeNode{
+			x0:    n.x0 + float64(oct&1)*half,
+			y0:    n.y0 + float64((oct>>1)&1)*half,
+			z0:    n.z0 + float64((oct>>2)&1)*half,
+			size:  half,
+			depth: n.depth + 1,
+		}
+	}
+	n.kids = &kids
+	pts := n.pts
+	n.pts = nil
+	for _, p := range pts {
+		c := n.childFor(p)
+		c.pts = append(c.pts, p)
+	}
+	// Recursively split any child that is still over capacity (all
+	// points may have landed in one octant).
+	for _, c := range kids {
+		if len(c.pts) > t.BucketSize && c.depth < t.MaxDepth {
+			t.split(c)
+		}
+	}
+}
+
+// Buckets visits every non-empty leaf with its cube and points. The
+// N-body storage layer maps each bucket to one array-valued row.
+func (t *Tree) Buckets(f func(x0, y0, z0, size float64, pts []Point) bool) {
+	var walk func(n *treeNode) bool
+	walk = func(n *treeNode) bool {
+		if n.kids != nil {
+			for _, c := range n.kids {
+				if !walk(c) {
+					return false
+				}
+			}
+			return true
+		}
+		if len(n.pts) == 0 {
+			return true
+		}
+		return f(n.x0, n.y0, n.z0, n.size, n.pts)
+	}
+	walk(t.root)
+}
+
+// QueryBox returns all points inside the axis-aligned box [lo, hi).
+func (t *Tree) QueryBox(lo, hi [3]float64) []Point {
+	var out []Point
+	var walk func(n *treeNode)
+	walk = func(n *treeNode) {
+		if n.x0 >= hi[0] || n.x0+n.size <= lo[0] ||
+			n.y0 >= hi[1] || n.y0+n.size <= lo[1] ||
+			n.z0 >= hi[2] || n.z0+n.size <= lo[2] {
+			return
+		}
+		if n.kids != nil {
+			for _, c := range n.kids {
+				walk(c)
+			}
+			return
+		}
+		for _, p := range n.pts {
+			if p.X >= lo[0] && p.X < hi[0] &&
+				p.Y >= lo[1] && p.Y < hi[1] &&
+				p.Z >= lo[2] && p.Z < hi[2] {
+				out = append(out, p)
+			}
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// QuerySphere returns all points within radius r of center c.
+func (t *Tree) QuerySphere(c [3]float64, r float64) []Point {
+	var out []Point
+	r2 := r * r
+	var walk func(n *treeNode)
+	walk = func(n *treeNode) {
+		// Distance from c to the node cube.
+		d2 := 0.0
+		for i, lo := range [3]float64{n.x0, n.y0, n.z0} {
+			hi := lo + n.size
+			switch {
+			case c[i] < lo:
+				d := lo - c[i]
+				d2 += d * d
+			case c[i] > hi:
+				d := c[i] - hi
+				d2 += d * d
+			}
+		}
+		if d2 > r2 {
+			return
+		}
+		if n.kids != nil {
+			for _, k := range n.kids {
+				walk(k)
+			}
+			return
+		}
+		for _, p := range n.pts {
+			dx, dy, dz := p.X-c[0], p.Y-c[1], p.Z-c[2]
+			if dx*dx+dy*dy+dz*dz <= r2 {
+				out = append(out, p)
+			}
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// Cone is an apex + axis + half-angle query region — the geometric
+// primitive the light-cone extraction needs ("a spatial index that can
+// retrieve points from within a cone", §2.3). Points between rMin and
+// rMax along the cone are returned.
+type Cone struct {
+	Apex      [3]float64
+	Axis      [3]float64 // need not be normalized
+	HalfAngle float64    // radians, in (0, π/2)
+	RMin      float64
+	RMax      float64
+}
+
+// QueryCone returns all points inside the cone.
+func (t *Tree) QueryCone(c Cone) []Point {
+	ax, ay, az := c.Axis[0], c.Axis[1], c.Axis[2]
+	norm := math.Sqrt(ax*ax + ay*ay + az*az)
+	if norm == 0 {
+		return nil
+	}
+	ax, ay, az = ax/norm, ay/norm, az/norm
+	cosA := math.Cos(c.HalfAngle)
+	var out []Point
+	var walk func(n *treeNode)
+	walk = func(n *treeNode) {
+		// Conservative prune: test the cube's bounding sphere against an
+		// expanded cone (distance from axis test at the center).
+		half := n.size / 2
+		cx, cy, cz := n.x0+half, n.y0+half, n.z0+half
+		dx, dy, dz := cx-c.Apex[0], cy-c.Apex[1], cz-c.Apex[2]
+		dist := math.Sqrt(dx*dx + dy*dy + dz*dz)
+		radius := half * math.Sqrt(3)
+		if dist-radius > c.RMax || dist+radius < c.RMin {
+			return
+		}
+		if dist > radius { // apex outside the sphere: cone angle prune
+			along := dx*ax + dy*ay + dz*az
+			if along < 0 && dist > radius {
+				// Behind the apex entirely?
+				if -along > radius {
+					return
+				}
+			} else {
+				// Angle between axis and center direction minus the
+				// angular radius of the sphere must be within HalfAngle.
+				cosC := along / dist
+				angC := math.Acos(clamp(cosC, -1, 1))
+				angR := math.Asin(clamp(radius/dist, 0, 1))
+				if angC-angR > c.HalfAngle {
+					return
+				}
+			}
+		}
+		if n.kids != nil {
+			for _, k := range n.kids {
+				walk(k)
+			}
+			return
+		}
+		for _, p := range n.pts {
+			dx, dy, dz := p.X-c.Apex[0], p.Y-c.Apex[1], p.Z-c.Apex[2]
+			dist := math.Sqrt(dx*dx + dy*dy + dz*dz)
+			if dist < c.RMin || dist > c.RMax || dist == 0 {
+				continue
+			}
+			if (dx*ax+dy*ay+dz*az)/dist >= cosA {
+				out = append(out, p)
+			}
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// DecimatedPoint is a representative particle carrying the number of
+// original particles it stands for (§2.3: "each sub-sampled particle
+// would get a different weight according to the number of original
+// particles in its region of attraction").
+type DecimatedPoint struct {
+	Point
+	Weight int
+}
+
+// Decimate produces a multi-resolution subsample: one representative per
+// occupied cube at the given depth (levels of the octree hierarchy). The
+// representative is the centroid of the cube's points, weighted by count.
+func (t *Tree) Decimate(depth int) []DecimatedPoint {
+	type acc struct {
+		x, y, z float64
+		n       int
+		id      int64
+	}
+	cells := make(map[uint64]*acc)
+	side := 1 << uint(depth)
+	t.Buckets(func(_, _, _, _ float64, pts []Point) bool {
+		for _, p := range pts {
+			ix := uint64(p.X * float64(side))
+			iy := uint64(p.Y * float64(side))
+			iz := uint64(p.Z * float64(side))
+			key := (iz*uint64(side)+iy)*uint64(side) + ix
+			a := cells[key]
+			if a == nil {
+				a = &acc{id: p.ID}
+				cells[key] = a
+			}
+			a.x += p.X
+			a.y += p.Y
+			a.z += p.Z
+			a.n++
+		}
+		return true
+	})
+	out := make([]DecimatedPoint, 0, len(cells))
+	for _, a := range cells {
+		inv := 1 / float64(a.n)
+		out = append(out, DecimatedPoint{
+			Point:  Point{X: a.x * inv, Y: a.y * inv, Z: a.z * inv, ID: a.id},
+			Weight: a.n,
+		})
+	}
+	return out
+}

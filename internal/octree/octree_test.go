@@ -1,0 +1,220 @@
+package octree
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randPoints(rng *rand.Rand, n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64(), Y: rng.Float64(), Z: rng.Float64(), ID: int64(i)}
+	}
+	return pts
+}
+
+func buildTree(t *testing.T, pts []Point, bucket int) *Tree {
+	t.Helper()
+	tr := New(bucket)
+	for _, p := range pts {
+		if err := tr.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func TestInsertBounds(t *testing.T) {
+	tr := New(4)
+	if err := tr.Insert(Point{X: 1.0, Y: 0, Z: 0}); !errors.Is(err, ErrBounds) {
+		t.Errorf("x=1 must fail (half-open cube): %v", err)
+	}
+	if err := tr.Insert(Point{X: -0.1, Y: 0.5, Z: 0.5}); !errors.Is(err, ErrBounds) {
+		t.Errorf("negative must fail: %v", err)
+	}
+	if err := tr.Insert(Point{X: 0, Y: 0, Z: 0}); err != nil {
+		t.Errorf("origin must insert: %v", err)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestBucketsPartitionPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randPoints(rng, 2000)
+	tr := buildTree(t, pts, 32)
+	seen := map[int64]bool{}
+	buckets := 0
+	tr.Buckets(func(x0, y0, z0, size float64, bpts []Point) bool {
+		buckets++
+		if len(bpts) == 0 {
+			t.Error("empty bucket visited")
+		}
+		for _, p := range bpts {
+			if seen[p.ID] {
+				t.Fatalf("point %d in two buckets", p.ID)
+			}
+			seen[p.ID] = true
+			// The point must lie in the bucket's cube.
+			if p.X < x0 || p.X >= x0+size || p.Y < y0 || p.Y >= y0+size || p.Z < z0 || p.Z >= z0+size {
+				t.Fatalf("point %d outside its bucket", p.ID)
+			}
+		}
+		return true
+	})
+	if len(seen) != 2000 {
+		t.Errorf("buckets covered %d points", len(seen))
+	}
+	if buckets < 2000/32 {
+		t.Errorf("only %d buckets for 2000 points at bucket size 32", buckets)
+	}
+	// Early stop works.
+	n := 0
+	tr.Buckets(func(_, _, _, _ float64, _ []Point) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestSplitOnOverflow(t *testing.T) {
+	tr := New(4)
+	// 10 points in the same octant force recursive splits.
+	for i := 0; i < 10; i++ {
+		if err := tr.Insert(Point{X: 0.01 + float64(i)*0.001, Y: 0.01, Z: 0.01, ID: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 10 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	// All points still findable.
+	got := tr.QueryBox([3]float64{0, 0, 0}, [3]float64{0.1, 0.1, 0.1})
+	if len(got) != 10 {
+		t.Errorf("box found %d of 10", len(got))
+	}
+}
+
+func TestQueryBoxMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := randPoints(rng, 3000)
+	tr := buildTree(t, pts, 16)
+	for trial := 0; trial < 20; trial++ {
+		var lo, hi [3]float64
+		for d := 0; d < 3; d++ {
+			a, b := rng.Float64(), rng.Float64()
+			if a > b {
+				a, b = b, a
+			}
+			lo[d], hi[d] = a, b
+		}
+		got := tr.QueryBox(lo, hi)
+		want := 0
+		for _, p := range pts {
+			if p.X >= lo[0] && p.X < hi[0] && p.Y >= lo[1] && p.Y < hi[1] && p.Z >= lo[2] && p.Z < hi[2] {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("trial %d: box found %d, want %d", trial, len(got), want)
+		}
+	}
+}
+
+func TestQuerySphereMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randPoints(rng, 3000)
+	tr := buildTree(t, pts, 16)
+	for trial := 0; trial < 20; trial++ {
+		c := [3]float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		r := 0.05 + 0.3*rng.Float64()
+		got := tr.QuerySphere(c, r)
+		want := 0
+		for _, p := range pts {
+			dx, dy, dz := p.X-c[0], p.Y-c[1], p.Z-c[2]
+			if dx*dx+dy*dy+dz*dz <= r*r {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("trial %d: sphere found %d, want %d", trial, len(got), want)
+		}
+	}
+}
+
+func TestQueryConeMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := randPoints(rng, 3000)
+	tr := buildTree(t, pts, 16)
+	for trial := 0; trial < 20; trial++ {
+		cone := Cone{
+			Apex:      [3]float64{rng.Float64() * 0.3, rng.Float64() * 0.3, rng.Float64() * 0.3},
+			Axis:      [3]float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()},
+			HalfAngle: 0.15 + 0.4*rng.Float64(),
+			RMin:      0.05,
+			RMax:      0.9,
+		}
+		norm := math.Sqrt(cone.Axis[0]*cone.Axis[0] + cone.Axis[1]*cone.Axis[1] + cone.Axis[2]*cone.Axis[2])
+		if norm == 0 {
+			continue
+		}
+		got := tr.QueryCone(cone)
+		gotIDs := map[int64]bool{}
+		for _, p := range got {
+			gotIDs[p.ID] = true
+		}
+		cosA := math.Cos(cone.HalfAngle)
+		want := 0
+		for _, p := range pts {
+			dx, dy, dz := p.X-cone.Apex[0], p.Y-cone.Apex[1], p.Z-cone.Apex[2]
+			dist := math.Sqrt(dx*dx + dy*dy + dz*dz)
+			if dist < cone.RMin || dist > cone.RMax || dist == 0 {
+				continue
+			}
+			if (dx*cone.Axis[0]+dy*cone.Axis[1]+dz*cone.Axis[2])/(dist*norm) >= cosA {
+				want++
+				if !gotIDs[p.ID] {
+					t.Fatalf("trial %d: point %d missing from cone", trial, p.ID)
+				}
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("trial %d: cone found %d, want %d", trial, len(got), want)
+		}
+	}
+	// Degenerate axis returns nothing.
+	if out := tr.QueryCone(Cone{HalfAngle: 0.5, RMax: 1}); out != nil {
+		t.Error("zero axis must return nothing")
+	}
+}
+
+func TestDecimate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randPoints(rng, 5000)
+	tr := buildTree(t, pts, 64)
+	dec := tr.Decimate(3) // 8³ = 512 cells max
+	if len(dec) == 0 || len(dec) > 512 {
+		t.Fatalf("decimated to %d cells", len(dec))
+	}
+	// Weights sum to the original count.
+	total := 0
+	for _, d := range dec {
+		total += d.Weight
+		if d.Weight <= 0 {
+			t.Error("non-positive weight")
+		}
+		if d.X < 0 || d.X >= 1 || d.Y < 0 || d.Y >= 1 || d.Z < 0 || d.Z >= 1 {
+			t.Error("centroid outside cube")
+		}
+	}
+	if total != 5000 {
+		t.Errorf("weights sum to %d, want 5000", total)
+	}
+	// Finer decimation produces more cells.
+	fine := tr.Decimate(5)
+	if len(fine) <= len(dec) {
+		t.Errorf("depth 5 gave %d cells, depth 3 gave %d", len(fine), len(dec))
+	}
+}

@@ -1,0 +1,233 @@
+package spectra
+
+import (
+	"errors"
+	"fmt"
+
+	"sqlarray/internal/kdtree"
+	"sqlarray/internal/lapack"
+)
+
+// Basis is a PCA decomposition of a spectrum set on a common grid:
+// the mean spectrum and the leading eigenvectors of the covariance
+// matrix, eigenvalues descending (§2.2: "Running PCA over a set of
+// spectra requires resampling and normalization of the individual data
+// vectors, computing the correlation matrix and executing a singular
+// value decomposition algorithm").
+type Basis struct {
+	Grid       []float64
+	Mean       []float64
+	Components lapack.Mat // nBins × nComp, columns are eigenspectra
+	Values     []float64  // leading eigenvalues
+	normLo     float64
+	normHi     float64
+}
+
+// PCA builds an nComp-component basis from the given spectra: each is
+// resampled to grid, normalized over [normLo, normHi], mean-subtracted;
+// the covariance matrix is diagonalized with the symmetric eigensolver
+// (the SVD route gives identical components; the covariance route keeps
+// memory at nBins², independent of the set size).
+//
+// Flagged bins are patched with the running mean before entering the
+// covariance — standard practice so a few bad pixels do not puncture
+// the basis.
+func PCA(specs []*Spectrum, grid []float64, nComp int, normLo, normHi float64) (*Basis, error) {
+	if len(specs) < 2 {
+		return nil, errors.New("spectra: PCA needs at least 2 spectra")
+	}
+	nb := len(grid)
+	if nComp < 1 || nComp > nb {
+		return nil, fmt.Errorf("spectra: %d components for %d bins", nComp, nb)
+	}
+	rows := make([][]float64, 0, len(specs))
+	masks := make([][]int64, 0, len(specs))
+	for _, s := range specs {
+		r, err := Resample(s, grid)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.Normalize(normLo, normHi); err != nil {
+			return nil, err
+		}
+		rows = append(rows, r.Flux)
+		masks = append(masks, r.Flags)
+	}
+	// Mean over good pixels per bin.
+	mean := make([]float64, nb)
+	cnt := make([]int, nb)
+	for k, row := range rows {
+		for i, v := range row {
+			if masks[k][i] == 0 {
+				mean[i] += v
+				cnt[i]++
+			}
+		}
+	}
+	for i := range mean {
+		if cnt[i] > 0 {
+			mean[i] /= float64(cnt[i])
+		}
+	}
+	// Patch flagged pixels with the mean, subtract the mean everywhere.
+	for k, row := range rows {
+		for i := range row {
+			if masks[k][i] != 0 {
+				row[i] = 0
+			} else {
+				row[i] -= mean[i]
+			}
+		}
+		_ = k
+	}
+	// Covariance C = Σ x xᵀ / (n-1), nb × nb.
+	cov := lapack.NewMat(nb, nb)
+	for _, row := range rows {
+		for j := 0; j < nb; j++ {
+			xj := row[j]
+			if xj == 0 {
+				continue
+			}
+			col := cov.Col(j)
+			for i := 0; i < nb; i++ {
+				col[i] += row[i] * xj
+			}
+		}
+	}
+	inv := 1 / float64(len(rows)-1)
+	for i := range cov.Data {
+		cov.Data[i] *= inv
+	}
+	eig, err := lapack.SymEig(cov)
+	if err != nil {
+		return nil, err
+	}
+	comp := lapack.NewMat(nb, nComp)
+	for j := 0; j < nComp; j++ {
+		copy(comp.Col(j), eig.Vectors.Col(j))
+	}
+	return &Basis{
+		Grid:       append([]float64(nil), grid...),
+		Mean:       mean,
+		Components: comp,
+		Values:     append([]float64(nil), eig.Values[:nComp]...),
+		normLo:     normLo,
+		normHi:     normHi,
+	}, nil
+}
+
+// NComp returns the number of basis components.
+func (b *Basis) NComp() int { return b.Components.N }
+
+// prepare resamples and normalizes a spectrum onto the basis grid.
+func (b *Basis) prepare(s *Spectrum) (*Spectrum, error) {
+	r, err := Resample(s, b.Grid)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Normalize(b.normLo, b.normHi); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Expand computes expansion coefficients with masked least squares:
+// flagged bins are excluded from the fit entirely. This is the paper's
+// §2.2 observation made executable: "because of the flags that mask out
+// wrong measurements bin by bin, dot product cannot be used for
+// expanding spectra on a basis but least squares fitting is necessary".
+func (b *Basis) Expand(s *Spectrum) ([]float64, error) {
+	r, err := b.prepare(s)
+	if err != nil {
+		return nil, err
+	}
+	nb := len(b.Grid)
+	resid := make([]float64, nb)
+	for i := 0; i < nb; i++ {
+		resid[i] = r.Flux[i] - b.Mean[i]
+	}
+	return lapack.MaskedLeastSquares(b.Components, resid, r.Flags)
+}
+
+// ExpandDot computes coefficients with plain dot products, ignoring the
+// flags — correct only for clean spectra; kept as the ablation baseline
+// showing why the masked fit is required.
+func (b *Basis) ExpandDot(s *Spectrum) ([]float64, error) {
+	r, err := b.prepare(s)
+	if err != nil {
+		return nil, err
+	}
+	nb := len(b.Grid)
+	coef := make([]float64, b.NComp())
+	for j := 0; j < b.NComp(); j++ {
+		col := b.Components.Col(j)
+		sum := 0.0
+		for i := 0; i < nb; i++ {
+			sum += (r.Flux[i] - b.Mean[i]) * col[i]
+		}
+		coef[j] = sum
+	}
+	return coef, nil
+}
+
+// Reconstruct synthesizes the flux vector mean + Σ c_j · comp_j.
+func (b *Basis) Reconstruct(coef []float64) ([]float64, error) {
+	if len(coef) != b.NComp() {
+		return nil, fmt.Errorf("spectra: %d coefficients for %d components", len(coef), b.NComp())
+	}
+	out := append([]float64(nil), b.Mean...)
+	for j, c := range coef {
+		if c == 0 {
+			continue
+		}
+		col := b.Components.Col(j)
+		for i := range out {
+			out[i] += c * col[i]
+		}
+	}
+	return out, nil
+}
+
+// SearchIndex is a kd-tree over expansion coefficients, the §2.2
+// similar-spectrum search: "One builds a kd-tree over the coefficients
+// so nearest neighbor searches can be executed very quickly. A 'query'
+// spectrum is expanded on the same basis on the fly and the nearest
+// neighbors of its coefficient vector are looked up".
+type SearchIndex struct {
+	basis *Basis
+	tree  *kdtree.Tree
+}
+
+// BuildSearchIndex expands every spectrum and indexes the coefficients.
+func BuildSearchIndex(basis *Basis, specs []*Spectrum) (*SearchIndex, error) {
+	pts := make([]kdtree.Point, 0, len(specs))
+	for _, s := range specs {
+		coef, err := basis.Expand(s)
+		if err != nil {
+			return nil, fmt.Errorf("spectra: expanding %d: %w", s.ID, err)
+		}
+		pts = append(pts, kdtree.Point{Coords: coef, ID: s.ID})
+	}
+	tree, err := kdtree.Build(pts, basis.NComp())
+	if err != nil {
+		return nil, err
+	}
+	return &SearchIndex{basis: basis, tree: tree}, nil
+}
+
+// Similar returns the IDs of the k most similar indexed spectra.
+func (ix *SearchIndex) Similar(query *Spectrum, k int) ([]int64, error) {
+	coef, err := ix.basis.Expand(query)
+	if err != nil {
+		return nil, err
+	}
+	ns, err := ix.tree.KNN(coef, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(ns))
+	for i, n := range ns {
+		out[i] = n.Point.ID
+	}
+	return out, nil
+}

@@ -1,0 +1,430 @@
+package spectra
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sqlarray/internal/engine"
+)
+
+func synth(t *testing.T, rng *rand.Rand, id int64, z, badFrac float64) *Spectrum {
+	t.Helper()
+	s, err := Synthesize(rng, SynthesisParams{
+		Bins: 200, LoWave: 3800, HiWave: 7000, Z: z, SNR: 30,
+		BadFrac: badFrac, LineSeed: id,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ID = id
+	return s
+}
+
+func TestLogGrid(t *testing.T) {
+	g, err := LogGrid(4000, 8000, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g[0] != 4000 || math.Abs(g[100]-8000) > 1e-9 {
+		t.Errorf("ends = %g, %g", g[0], g[100])
+	}
+	// Constant ratio between neighbours.
+	r := g[1] / g[0]
+	for i := 2; i < len(g); i++ {
+		if math.Abs(g[i]/g[i-1]-r) > 1e-12 {
+			t.Fatal("grid not logarithmic")
+		}
+	}
+	if _, err := LogGrid(0, 100, 10); err == nil {
+		t.Error("zero lower bound must fail")
+	}
+	if _, err := LogGrid(100, 50, 10); err == nil {
+		t.Error("inverted range must fail")
+	}
+	if _, err := LogGrid(1, 2, 1); err == nil {
+		t.Error("single bin must fail")
+	}
+}
+
+func TestSynthesizeAndValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := synth(t, rng, 1, 0.1, 0.02)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := 0
+	for _, f := range s.Flags {
+		if f != 0 {
+			bad++
+		}
+	}
+	if bad == 0 {
+		t.Error("expected some flagged pixels at BadFrac=0.02")
+	}
+	// Wavelengths redshifted: first bin at 3800*(1.1).
+	if math.Abs(s.Wave[0]-3800*1.1) > 1e-9 {
+		t.Errorf("start = %g", s.Wave[0])
+	}
+	// Broken inputs.
+	if err := (&Spectrum{Wave: []float64{1}}).Validate(); err == nil {
+		t.Error("single bin must fail")
+	}
+	bad2 := synth(t, rng, 2, 0, 0)
+	bad2.Wave[5] = bad2.Wave[4]
+	if err := bad2.Validate(); err == nil {
+		t.Error("non-ascending grid must fail")
+	}
+}
+
+func TestIntegrateLinearFlux(t *testing.T) {
+	// Constant flux density 2 over [0,10]: integral over [2,5] = 6.
+	s := &Spectrum{
+		Wave:  []float64{0, 2.5, 5, 7.5, 10},
+		Flux:  []float64{2, 2, 2, 2, 2},
+		Err:   make([]float64, 5),
+		Flags: make([]int64, 5),
+	}
+	if got := s.Integrate(2, 5); math.Abs(got-6) > 1e-12 {
+		t.Errorf("Integrate = %g, want 6", got)
+	}
+	// Outside the domain: zero.
+	if got := s.Integrate(20, 30); got != 0 {
+		t.Errorf("outside = %g", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := synth(t, rng, 3, 0.05, 0)
+	lo, hi := s.Wave[20], s.Wave[150]
+	if err := s.Normalize(lo, hi); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Integrate(lo, hi); math.Abs(got-1) > 1e-9 {
+		t.Errorf("normalized integral = %g", got)
+	}
+	zero := &Spectrum{Wave: []float64{1, 2}, Flux: []float64{0, 0}, Err: []float64{1, 1}, Flags: []int64{0, 0}}
+	if err := zero.Normalize(1, 2); err == nil {
+		t.Error("zero flux must fail")
+	}
+}
+
+func TestResampleConservesFlux(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := synth(t, rng, 4, 0.08, 0)
+	// Resample to a coarser grid fully inside the source coverage.
+	grid, _ := LogGrid(s.Wave[10], s.Wave[180], 60)
+	r, err := Resample(s, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Integrated flux over a wide interior range must be conserved.
+	lo, hi := grid[5], grid[54]
+	a := s.Integrate(lo, hi)
+	b := r.Integrate(lo, hi)
+	if math.Abs(a-b) > 0.02*math.Abs(a) {
+		t.Errorf("flux not conserved: %g vs %g", a, b)
+	}
+}
+
+func TestResampleFlagPropagation(t *testing.T) {
+	s := &Spectrum{
+		Wave:  []float64{1, 2, 3, 4, 5, 6, 7, 8},
+		Flux:  []float64{1, 1, 1, 1, 1, 1, 1, 1},
+		Err:   []float64{.1, .1, .1, .1, .1, .1, .1, .1},
+		Flags: []int64{0, 0, 0, 1, 0, 0, 0, 0},
+	}
+	r, err := Resample(s, []float64{2.5, 4.5, 6.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The middle target bin overlaps source bin 3 (flagged).
+	if r.Flags[1]&1 == 0 {
+		t.Errorf("flag not propagated: %v", r.Flags)
+	}
+	// Bins outside source coverage get the no-coverage flag.
+	r2, err := Resample(s, []float64{0.1, 0.2, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Flags[0]&2 == 0 {
+		t.Errorf("no-coverage flag missing: %v", r2.Flags)
+	}
+	// Invalid target grids fail.
+	if _, err := Resample(s, []float64{5, 4}); err == nil {
+		t.Error("descending target must fail")
+	}
+	if _, err := Resample(s, []float64{5}); err == nil {
+		t.Error("single-bin target must fail")
+	}
+}
+
+func TestCompositeImprovesSNR(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Many noisy realizations of the same object.
+	specs := make([]*Spectrum, 40)
+	for i := range specs {
+		s, err := Synthesize(rng, SynthesisParams{
+			Bins: 200, LoWave: 3800, HiWave: 7000, Z: 0.05, SNR: 5,
+			BadFrac: 0.01, LineSeed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.ID = int64(i)
+		specs[i] = s
+	}
+	grid, _ := LogGrid(4100, 7000, 150)
+	comp, err := Composite(specs, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := Synthesize(rng, SynthesisParams{
+		Bins: 200, LoWave: 3800, HiWave: 7000, Z: 0.05, SNR: 1e9,
+		BadFrac: 0, LineSeed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanR, err := Resample(clean, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Resample(specs[0], grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errComp, errSingle float64
+	n := 0
+	for i := range grid {
+		if comp.Flags[i] != 0 || single.Flags[i] != 0 || cleanR.Flags[i] != 0 {
+			continue
+		}
+		errComp += math.Abs(comp.Flux[i] - cleanR.Flux[i])
+		errSingle += math.Abs(single.Flux[i] - cleanR.Flux[i])
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no clean bins to compare")
+	}
+	if errComp > errSingle/2 {
+		t.Errorf("composite error %g not clearly below single %g", errComp/float64(n), errSingle/float64(n))
+	}
+	if _, err := Composite(nil, grid); err == nil {
+		t.Error("empty composite must fail")
+	}
+}
+
+func TestCompositeByRedshift(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var specs []*Spectrum
+	for i := 0; i < 12; i++ {
+		z := 0.05 + 0.1*float64(i%3) // three z groups
+		specs = append(specs, synth(t, rng, int64(i), z, 0))
+	}
+	grid, _ := LogGrid(4300, 6800, 100)
+	groups, err := CompositeByRedshift(specs, grid, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 {
+		t.Errorf("groups = %d, want 3", len(groups))
+	}
+	if _, err := CompositeByRedshift(specs, grid, 0); err == nil {
+		t.Error("zero bin width must fail")
+	}
+}
+
+func buildPCASet(t *testing.T, rng *rand.Rand, n int, badFrac float64) []*Spectrum {
+	t.Helper()
+	specs := make([]*Spectrum, n)
+	for i := range specs {
+		// Nearly common redshift: similarity search operates on spectra
+		// aligned to a common frame, as the archive pipeline would do.
+		z := 0.03 + 0.0002*float64(i%5)
+		s, err := Synthesize(rng, SynthesisParams{
+			Bins: 180, LoWave: 3800, HiWave: 7000, Z: z, SNR: 40,
+			BadFrac: badFrac, LineSeed: int64(i % 6), // six distinct object types
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.ID = int64(i)
+		specs[i] = s
+	}
+	return specs
+}
+
+func TestPCAReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	specs := buildPCASet(t, rng, 50, 0)
+	grid, _ := LogGrid(4000, 6900, 120)
+	basis, err := PCA(specs, grid, 8, 4300, 6500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if basis.NComp() != 8 || len(basis.Values) != 8 {
+		t.Fatalf("basis shape wrong")
+	}
+	// Eigenvalues descending, non-negative.
+	for j := 1; j < 8; j++ {
+		if basis.Values[j] > basis.Values[j-1]+1e-12 {
+			t.Error("eigenvalues not descending")
+		}
+	}
+	// Expansion + reconstruction approximates the (clean) spectrum well.
+	coef, err := basis.Expand(specs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := basis.Reconstruct(coef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := basis.prepare(specs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var num, den float64
+	for i := range rec {
+		d := rec[i] - prep.Flux[i]
+		num += d * d
+		m := prep.Flux[i] - basis.Mean[i]
+		den += m * m
+	}
+	if num > 0.2*den {
+		t.Errorf("reconstruction captures too little variance: residual %g of %g", num, den)
+	}
+	if _, err := basis.Reconstruct([]float64{1}); err == nil {
+		t.Error("wrong coefficient count must fail")
+	}
+	if _, err := PCA(specs[:1], grid, 2, 4300, 6500); err == nil {
+		t.Error("single-spectrum PCA must fail")
+	}
+	if _, err := PCA(specs, grid, 0, 4300, 6500); err == nil {
+		t.Error("zero components must fail")
+	}
+}
+
+func TestMaskedExpansionBeatsDotProducts(t *testing.T) {
+	// The §2.2 claim: with flagged pixels, dot products are polluted but
+	// masked least squares recovers the true coefficients.
+	rng := rand.New(rand.NewSource(7))
+	specs := buildPCASet(t, rng, 60, 0)
+	grid, _ := LogGrid(4000, 6900, 120)
+	basis, err := PCA(specs, grid, 5, 4300, 6500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := specs[10]
+	truth, err := basis.Expand(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt 5% of pixels and flag them. Alternating signs keep the
+	// broadband normalization integral roughly intact, isolating the
+	// expansion method as the only difference.
+	dirty := clean.Clone()
+	sign := 50.0
+	for i := 0; i < len(dirty.Flux); i += 20 {
+		dirty.Flux[i] += sign
+		sign = -sign
+		dirty.Flags[i] = 1
+	}
+	masked, err := basis.Expand(dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dotted, err := basis.ExpandDot(dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errMasked, errDot float64
+	for j := range truth {
+		errMasked += math.Abs(masked[j] - truth[j])
+		errDot += math.Abs(dotted[j] - truth[j])
+	}
+	if errMasked > errDot/5 {
+		t.Errorf("masked fit error %g not clearly below dot-product error %g", errMasked, errDot)
+	}
+}
+
+func TestSimilarSpectrumSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	specs := buildPCASet(t, rng, 72, 0.01)
+	grid, _ := LogGrid(4000, 6900, 120)
+	basis, err := PCA(specs, grid, 6, 4300, 6500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := BuildSearchIndex(basis, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh spectrum of object type 2 should retrieve mostly type-2
+	// neighbours (IDs ≡ 2 mod 6).
+	q, err := Synthesize(rng, SynthesisParams{
+		Bins: 180, LoWave: 3800, HiWave: 7000, Z: 0.03, SNR: 40,
+		BadFrac: 0.01, LineSeed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := ix.Similar(q, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 8 {
+		t.Fatalf("got %d results", len(ids))
+	}
+	sameType := 0
+	for _, id := range ids {
+		if id%6 == 2 {
+			sameType++
+		}
+	}
+	if sameType < 5 {
+		t.Errorf("only %d of 8 neighbours share the query's type", sameType)
+	}
+}
+
+func TestStoreRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	db := engine.NewMemDB()
+	st, err := CreateStore(db, "spectra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]*Spectrum, 5)
+	for i := range want {
+		want[i] = synth(t, rng, int64(i), 0.01*float64(i), 0.02)
+		if err := st.Insert(want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := st.Get(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Z != want[3].Z || len(got.Wave) != len(want[3].Wave) {
+		t.Fatalf("metadata mismatch")
+	}
+	for i := range got.Wave {
+		if got.Wave[i] != want[3].Wave[i] || got.Flux[i] != want[3].Flux[i] ||
+			got.Err[i] != want[3].Err[i] || got.Flags[i] != want[3].Flags[i] {
+			t.Fatalf("bin %d mismatch", i)
+		}
+	}
+	all, err := st.All()
+	if err != nil || len(all) != 5 {
+		t.Fatalf("All = %d spectra, %v", len(all), err)
+	}
+	// Invalid spectrum rejected at insert.
+	badSpec := want[0].Clone()
+	badSpec.ID = 99
+	badSpec.Wave[1] = badSpec.Wave[0]
+	if err := st.Insert(badSpec); err == nil {
+		t.Error("invalid spectrum must be rejected")
+	}
+}

@@ -1,0 +1,132 @@
+package spectra
+
+import (
+	"fmt"
+
+	"sqlarray/internal/core"
+	"sqlarray/internal/engine"
+)
+
+// This file is the storage glue: spectra persist as array blobs in an
+// engine table with the schema the paper sketches — one row per
+// spectrum, the wavelength/flux/error vectors as float64 arrays and the
+// flag vector as a 16-bit integer array ("usually a vector of 8 or 16
+// bit integers").
+
+// Store wraps the spectrum table.
+type Store struct {
+	db    *engine.DB
+	table *engine.Table
+}
+
+// CreateStore builds the spectrum table.
+func CreateStore(db *engine.DB, name string) (*Store, error) {
+	schema, err := engine.NewSchema(
+		engine.Column{Name: "id", Type: engine.ColInt64},
+		engine.Column{Name: "z", Type: engine.ColFloat64},
+		engine.Column{Name: "wave", Type: engine.ColVarBinaryMax},
+		engine.Column{Name: "flux", Type: engine.ColVarBinaryMax},
+		engine.Column{Name: "err", Type: engine.ColVarBinaryMax},
+		engine.Column{Name: "flags", Type: engine.ColVarBinaryMax},
+	)
+	if err != nil {
+		return nil, err
+	}
+	table, err := db.CreateTable(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{db: db, table: table}, nil
+}
+
+// Table exposes the underlying engine table.
+func (st *Store) Table() *engine.Table { return st.table }
+
+// Insert persists a spectrum as four array blobs.
+func (st *Store) Insert(s *Spectrum) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	n := len(s.Wave)
+	wave, err := core.FromFloat64s(core.Max, core.Float64, s.Wave, n)
+	if err != nil {
+		return err
+	}
+	flux, err := core.FromFloat64s(core.Max, core.Float64, s.Flux, n)
+	if err != nil {
+		return err
+	}
+	errs, err := core.FromFloat64s(core.Max, core.Float64, s.Err, n)
+	if err != nil {
+		return err
+	}
+	flags, err := core.FromInt64s(core.Max, core.Int16, s.Flags, n)
+	if err != nil {
+		return err
+	}
+	return st.table.Insert([]engine.Value{
+		engine.IntValue(s.ID),
+		engine.FloatValue(s.Z),
+		engine.BinaryMaxValue(wave.Bytes()),
+		engine.BinaryMaxValue(flux.Bytes()),
+		engine.BinaryMaxValue(errs.Bytes()),
+		engine.BinaryMaxValue(flags.Bytes()),
+	})
+}
+
+// Get loads a spectrum by id.
+func (st *Store) Get(id int64) (*Spectrum, error) {
+	row, err := st.table.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	s := &Spectrum{ID: id, Z: row[1].F}
+	for i, dst := range []*[]float64{&s.Wave, &s.Flux, &s.Err} {
+		raw, err := st.table.FetchBlob(row[2+i].B)
+		if err != nil {
+			return nil, err
+		}
+		arr, err := core.Wrap(raw)
+		if err != nil {
+			return nil, err
+		}
+		if arr.ElemType() != core.Float64 {
+			return nil, fmt.Errorf("%w: column %d holds %s", core.ErrTypeMismatch, 2+i, arr.ElemType())
+		}
+		*dst = arr.Float64s()
+	}
+	raw, err := st.table.FetchBlob(row[5].B)
+	if err != nil {
+		return nil, err
+	}
+	arr, err := core.Wrap(raw)
+	if err != nil {
+		return nil, err
+	}
+	if !arr.ElemType().IsInteger() {
+		return nil, fmt.Errorf("%w: flags column holds %s", core.ErrTypeMismatch, arr.ElemType())
+	}
+	s.Flags = arr.Int64s()
+	return s, nil
+}
+
+// All loads every stored spectrum in id order.
+func (st *Store) All() ([]*Spectrum, error) {
+	var ids []int64
+	err := st.table.Scan(func(key int64, _ *engine.RowView) (bool, error) {
+		ids = append(ids, key)
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Spectrum, 0, len(ids))
+	for _, id := range ids {
+		s, err := st.Get(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,190 @@
+package sqlmini
+
+import (
+	"strconv"
+	"strings"
+)
+
+// SelectStmt is the single statement form the dialect supports:
+//
+//	SELECT [TOP n] item [, item ...]
+//	FROM table [WITH (NOLOCK)]
+//	[WHERE expr]
+type SelectStmt struct {
+	Items  []SelectItem
+	Table  string
+	NoLock bool
+	Where  Expr
+	Top    int64 // 0 = no TOP clause
+}
+
+// SelectItem is one projected expression with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// Expr is a parsed expression node.
+type Expr interface {
+	exprString(sb *strings.Builder)
+}
+
+// String renders an expression back to SQL-ish text (diagnostics).
+func ExprString(e Expr) string {
+	var sb strings.Builder
+	e.exprString(&sb)
+	return sb.String()
+}
+
+// NumberLit is a numeric literal. Integral-looking literals keep IsInt.
+type NumberLit struct {
+	F     float64
+	I     int64
+	IsInt bool
+}
+
+// StringLit is a string literal (used as the query argument of
+// table-driven functions).
+type StringLit struct{ S string }
+
+// NullLit is the NULL literal.
+type NullLit struct{}
+
+// ColRef references a column of the scanned table.
+type ColRef struct{ Name string }
+
+// Star is the * inside COUNT(*).
+type Star struct{}
+
+// AggKind enumerates built-in aggregate functions.
+type AggKind uint8
+
+const (
+	AggCount AggKind = iota + 1
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+func (k AggKind) String() string {
+	switch k {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	}
+	return "AGG?"
+}
+
+// AggCall is a built-in aggregate over an argument expression (or * for
+// COUNT(*)).
+type AggCall struct {
+	Kind AggKind
+	Arg  Expr // nil for COUNT(*)
+}
+
+// FuncCall is a (possibly schema-qualified) scalar UDF call, resolved
+// against the engine's function registry at plan time.
+type FuncCall struct {
+	Name string // lower-cased, "schema.func" or "func"
+	Args []Expr
+}
+
+// BinaryExpr is an infix arithmetic/comparison/logical operation.
+type BinaryExpr struct {
+	Op   string // + - * / % = <> < <= > >= AND OR
+	L, R Expr
+}
+
+// UnaryExpr is unary minus or NOT.
+type UnaryExpr struct {
+	Op string // "-" or "NOT"
+	X  Expr
+}
+
+func (n *NumberLit) exprString(sb *strings.Builder) {
+	if n.IsInt {
+		sb.WriteString(strconv.FormatInt(n.I, 10))
+		return
+	}
+	sb.WriteString(strconv.FormatFloat(n.F, 'g', -1, 64))
+}
+
+func (s *StringLit) exprString(sb *strings.Builder) {
+	sb.WriteByte('\'')
+	sb.WriteString(strings.ReplaceAll(s.S, "'", "''"))
+	sb.WriteByte('\'')
+}
+
+func (*NullLit) exprString(sb *strings.Builder) { sb.WriteString("NULL") }
+
+func (c *ColRef) exprString(sb *strings.Builder) { sb.WriteString(c.Name) }
+
+func (*Star) exprString(sb *strings.Builder) { sb.WriteByte('*') }
+
+func (a *AggCall) exprString(sb *strings.Builder) {
+	sb.WriteString(a.Kind.String())
+	sb.WriteByte('(')
+	if a.Arg == nil {
+		sb.WriteByte('*')
+	} else {
+		a.Arg.exprString(sb)
+	}
+	sb.WriteByte(')')
+}
+
+func (f *FuncCall) exprString(sb *strings.Builder) {
+	sb.WriteString(f.Name)
+	sb.WriteByte('(')
+	for i, a := range f.Args {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		a.exprString(sb)
+	}
+	sb.WriteByte(')')
+}
+
+func (b *BinaryExpr) exprString(sb *strings.Builder) {
+	sb.WriteByte('(')
+	b.L.exprString(sb)
+	sb.WriteByte(' ')
+	sb.WriteString(b.Op)
+	sb.WriteByte(' ')
+	b.R.exprString(sb)
+	sb.WriteByte(')')
+}
+
+func (u *UnaryExpr) exprString(sb *strings.Builder) {
+	sb.WriteString(u.Op)
+	if u.Op == "NOT" {
+		sb.WriteByte(' ')
+	}
+	u.X.exprString(sb)
+}
+
+// hasAggregate reports whether the expression tree contains an AggCall.
+func hasAggregate(e Expr) bool {
+	switch n := e.(type) {
+	case *AggCall:
+		return true
+	case *BinaryExpr:
+		return hasAggregate(n.L) || hasAggregate(n.R)
+	case *UnaryExpr:
+		return hasAggregate(n.X)
+	case *FuncCall:
+		for _, a := range n.Args {
+			if hasAggregate(a) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,554 @@
+package sqlmini
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"sqlarray/internal/engine"
+)
+
+// Result is a fully materialized query result.
+type Result struct {
+	Columns []string
+	Rows    [][]engine.Value
+}
+
+// Scalar returns the single value of a one-row one-column result.
+func (r *Result) Scalar() (engine.Value, error) {
+	if len(r.Rows) != 1 || len(r.Rows[0]) != 1 {
+		return engine.Null, fmt.Errorf("sql: result is %dx%d, not scalar", len(r.Rows), len(r.Columns))
+	}
+	return r.Rows[0][0], nil
+}
+
+// Run parses, plans and executes a SELECT against db.
+func Run(db *engine.DB, query string) (*Result, error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return Exec(db, stmt)
+}
+
+// Exec plans and executes a parsed statement.
+func Exec(db *engine.DB, stmt *SelectStmt) (*Result, error) {
+	tbl, err := db.Table(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := plan(db, tbl, stmt)
+	if err != nil {
+		return nil, err
+	}
+	return pl.run(tbl)
+}
+
+// ---- plan-time compilation -------------------------------------------
+
+// rowCtx carries per-row state during evaluation.
+type rowCtx struct {
+	key     int64
+	row     *engine.RowView
+	aggVals []engine.Value // filled for the final pass of aggregate plans
+}
+
+// compiled is an executable expression.
+type compiled interface {
+	eval(ctx *rowCtx) (engine.Value, error)
+}
+
+type cConst struct{ v engine.Value }
+
+func (c *cConst) eval(*rowCtx) (engine.Value, error) { return c.v, nil }
+
+type cCol struct{ idx int }
+
+func (c *cCol) eval(ctx *rowCtx) (engine.Value, error) { return ctx.row.Col(c.idx) }
+
+// cUDF invokes a scalar UDF through the engine's CLR-like boundary; the
+// FuncDef is resolved once at plan time, as a real plan would cache the
+// method handle.
+type cUDF struct {
+	reg  *engine.FuncRegistry
+	def  *engine.FuncDef
+	args []compiled
+	buf  []engine.Value
+}
+
+func (c *cUDF) eval(ctx *rowCtx) (engine.Value, error) {
+	if cap(c.buf) < len(c.args) {
+		c.buf = make([]engine.Value, len(c.args))
+	}
+	args := c.buf[:len(c.args)]
+	for i, a := range c.args {
+		v, err := a.eval(ctx)
+		if err != nil {
+			return engine.Null, err
+		}
+		args[i] = v
+	}
+	return c.reg.Call(c.def, args)
+}
+
+type cAggRef struct{ idx int }
+
+func (c *cAggRef) eval(ctx *rowCtx) (engine.Value, error) { return ctx.aggVals[c.idx], nil }
+
+type cBinary struct {
+	op   string
+	l, r compiled
+}
+
+func (c *cBinary) eval(ctx *rowCtx) (engine.Value, error) {
+	l, err := c.l.eval(ctx)
+	if err != nil {
+		return engine.Null, err
+	}
+	// Short-circuit logical operators (SQL three-valued logic reduced to
+	// two-valued with NULL = false, sufficient for the workload).
+	switch c.op {
+	case "AND":
+		if !truthy(l) {
+			return engine.IntValue(0), nil
+		}
+		r, err := c.r.eval(ctx)
+		if err != nil {
+			return engine.Null, err
+		}
+		return boolVal(truthy(r)), nil
+	case "OR":
+		if truthy(l) {
+			return engine.IntValue(1), nil
+		}
+		r, err := c.r.eval(ctx)
+		if err != nil {
+			return engine.Null, err
+		}
+		return boolVal(truthy(r)), nil
+	}
+	r, err := c.r.eval(ctx)
+	if err != nil {
+		return engine.Null, err
+	}
+	if l.IsNull() || r.IsNull() {
+		return engine.Null, nil
+	}
+	switch c.op {
+	case "+", "-", "*", "/", "%":
+		return arith(c.op, l, r)
+	case "=", "<>", "<", "<=", ">", ">=":
+		return compare(c.op, l, r)
+	}
+	return engine.Null, fmt.Errorf("sql: unknown operator %q", c.op)
+}
+
+type cUnary struct {
+	op string
+	x  compiled
+}
+
+func (c *cUnary) eval(ctx *rowCtx) (engine.Value, error) {
+	v, err := c.x.eval(ctx)
+	if err != nil {
+		return engine.Null, err
+	}
+	if v.IsNull() {
+		return engine.Null, nil
+	}
+	switch c.op {
+	case "-":
+		if v.Kind == engine.ColInt64 {
+			return engine.IntValue(-v.I), nil
+		}
+		f, err := v.AsFloat()
+		if err != nil {
+			return engine.Null, err
+		}
+		return engine.FloatValue(-f), nil
+	case "NOT":
+		return boolVal(!truthy(v)), nil
+	}
+	return engine.Null, fmt.Errorf("sql: unknown unary %q", c.op)
+}
+
+func boolVal(b bool) engine.Value {
+	if b {
+		return engine.IntValue(1)
+	}
+	return engine.IntValue(0)
+}
+
+func truthy(v engine.Value) bool {
+	switch v.Kind {
+	case engine.ColInt64:
+		return v.I != 0
+	case engine.ColFloat64:
+		return v.F != 0
+	}
+	return false
+}
+
+func arith(op string, l, r engine.Value) (engine.Value, error) {
+	// Integer arithmetic stays integral except for division, matching
+	// T-SQL only loosely (T-SQL integer division truncates; scientific
+	// workloads here always use floats, so / promotes to float).
+	if l.Kind == engine.ColInt64 && r.Kind == engine.ColInt64 && op != "/" {
+		switch op {
+		case "+":
+			return engine.IntValue(l.I + r.I), nil
+		case "-":
+			return engine.IntValue(l.I - r.I), nil
+		case "*":
+			return engine.IntValue(l.I * r.I), nil
+		case "%":
+			if r.I == 0 {
+				return engine.Null, fmt.Errorf("sql: modulo by zero")
+			}
+			return engine.IntValue(l.I % r.I), nil
+		}
+	}
+	lf, err := l.AsFloat()
+	if err != nil {
+		return engine.Null, err
+	}
+	rf, err := r.AsFloat()
+	if err != nil {
+		return engine.Null, err
+	}
+	switch op {
+	case "+":
+		return engine.FloatValue(lf + rf), nil
+	case "-":
+		return engine.FloatValue(lf - rf), nil
+	case "*":
+		return engine.FloatValue(lf * rf), nil
+	case "/":
+		return engine.FloatValue(lf / rf), nil
+	case "%":
+		return engine.FloatValue(math.Mod(lf, rf)), nil
+	}
+	return engine.Null, fmt.Errorf("sql: unknown arithmetic %q", op)
+}
+
+func compare(op string, l, r engine.Value) (engine.Value, error) {
+	var c int
+	lb, lIsBin := binaryKind(l)
+	rb, rIsBin := binaryKind(r)
+	switch {
+	case lIsBin && rIsBin:
+		c = bytes.Compare(lb, rb)
+	case lIsBin != rIsBin:
+		return engine.Null, fmt.Errorf("%w: comparing binary with numeric", engine.ErrTypeError)
+	default:
+		lf, err := l.AsFloat()
+		if err != nil {
+			return engine.Null, err
+		}
+		rf, err := r.AsFloat()
+		if err != nil {
+			return engine.Null, err
+		}
+		if math.IsNaN(lf) || math.IsNaN(rf) {
+			// IEEE semantics: NaN is unordered; only <> holds.
+			return boolVal(op == "<>"), nil
+		}
+		switch {
+		case lf < rf:
+			c = -1
+		case lf > rf:
+			c = 1
+		}
+	}
+	switch op {
+	case "=":
+		return boolVal(c == 0), nil
+	case "<>":
+		return boolVal(c != 0), nil
+	case "<":
+		return boolVal(c < 0), nil
+	case "<=":
+		return boolVal(c <= 0), nil
+	case ">":
+		return boolVal(c > 0), nil
+	case ">=":
+		return boolVal(c >= 0), nil
+	}
+	return engine.Null, fmt.Errorf("sql: unknown comparison %q", op)
+}
+
+func binaryKind(v engine.Value) ([]byte, bool) {
+	if v.Kind == engine.ColVarBinary || v.Kind == engine.ColVarBinaryMax {
+		return v.B, true
+	}
+	return nil, false
+}
+
+// ---- aggregate accumulators -------------------------------------------
+
+type accumulator struct {
+	kind  AggKind
+	arg   compiled // nil for COUNT(*)
+	count int64
+	sum   float64
+	min   float64
+	max   float64
+	any   bool
+}
+
+func (a *accumulator) add(ctx *rowCtx) error {
+	if a.arg == nil { // COUNT(*)
+		a.count++
+		return nil
+	}
+	v, err := a.arg.eval(ctx)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil // SQL aggregates skip NULLs
+	}
+	f, err := v.AsFloat()
+	if err != nil {
+		return err
+	}
+	a.count++
+	a.sum += f
+	if !a.any || f < a.min {
+		a.min = f
+	}
+	if !a.any || f > a.max {
+		a.max = f
+	}
+	a.any = true
+	return nil
+}
+
+func (a *accumulator) result() engine.Value {
+	switch a.kind {
+	case AggCount:
+		return engine.IntValue(a.count)
+	case AggSum:
+		if !a.any {
+			return engine.Null
+		}
+		return engine.FloatValue(a.sum)
+	case AggAvg:
+		if !a.any {
+			return engine.Null
+		}
+		return engine.FloatValue(a.sum / float64(a.count))
+	case AggMin:
+		if !a.any {
+			return engine.Null
+		}
+		return engine.FloatValue(a.min)
+	case AggMax:
+		if !a.any {
+			return engine.Null
+		}
+		return engine.FloatValue(a.max)
+	}
+	return engine.Null
+}
+
+// ---- planning and execution --------------------------------------------
+
+type queryPlan struct {
+	items     []compiled
+	columns   []string
+	where     compiled
+	accs      []*accumulator
+	aggregate bool
+	top       int64
+}
+
+// compileCtx carries plan-time state; aggregate arguments register
+// accumulators here.
+type compileCtx struct {
+	db     *engine.DB
+	schema *engine.Schema
+	accs   []*accumulator
+}
+
+func plan(db *engine.DB, tbl *engine.Table, stmt *SelectStmt) (*queryPlan, error) {
+	cc := &compileCtx{db: db, schema: tbl.Schema()}
+	pl := &queryPlan{top: stmt.Top}
+	for _, it := range stmt.Items {
+		pl.aggregate = pl.aggregate || hasAggregate(it.Expr)
+	}
+	for i, it := range stmt.Items {
+		c, err := cc.compile(it.Expr, pl.aggregate)
+		if err != nil {
+			return nil, err
+		}
+		pl.items = append(pl.items, c)
+		name := it.Alias
+		if name == "" {
+			name = ExprString(it.Expr)
+			if len(name) > 40 {
+				name = fmt.Sprintf("col%d", i+1)
+			}
+		}
+		pl.columns = append(pl.columns, name)
+	}
+	if stmt.Where != nil {
+		if hasAggregate(stmt.Where) {
+			return nil, fmt.Errorf("sql: aggregates are not allowed in WHERE")
+		}
+		w, err := cc.compile(stmt.Where, false)
+		if err != nil {
+			return nil, err
+		}
+		pl.where = w
+	}
+	pl.accs = cc.accs
+	return pl, nil
+}
+
+// compile turns an AST node into an executable expression. Inside an
+// aggregate query, AggCall nodes become accumulator references and their
+// arguments are compiled for the per-row pass.
+func (cc *compileCtx) compile(e Expr, inAggQuery bool) (compiled, error) {
+	switch n := e.(type) {
+	case *NumberLit:
+		if n.IsInt {
+			return &cConst{engine.IntValue(n.I)}, nil
+		}
+		return &cConst{engine.FloatValue(n.F)}, nil
+	case *StringLit:
+		return &cConst{engine.BinaryValue([]byte(n.S))}, nil
+	case *NullLit:
+		return &cConst{engine.Null}, nil
+	case *ColRef:
+		idx := cc.schema.ColIndex(n.Name)
+		if idx < 0 {
+			return nil, fmt.Errorf("%w: %q", engine.ErrNoColumn, n.Name)
+		}
+		return &cCol{idx: idx}, nil
+	case *Star:
+		return nil, fmt.Errorf("sql: * outside COUNT(*)")
+	case *AggCall:
+		if !inAggQuery {
+			return nil, fmt.Errorf("sql: aggregate in row context")
+		}
+		acc := &accumulator{kind: n.Kind}
+		if n.Arg != nil {
+			arg, err := cc.compile(n.Arg, false)
+			if err != nil {
+				return nil, err
+			}
+			acc.arg = arg
+		}
+		cc.accs = append(cc.accs, acc)
+		return &cAggRef{idx: len(cc.accs) - 1}, nil
+	case *FuncCall:
+		def, err := cc.db.Funcs().Lookup(n.Name)
+		if err != nil {
+			return nil, err
+		}
+		args := make([]compiled, len(n.Args))
+		for i, a := range n.Args {
+			c, err := cc.compile(a, false)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = c
+		}
+		return &cUDF{reg: cc.db.Funcs(), def: def, args: args}, nil
+	case *BinaryExpr:
+		l, err := cc.compile(n.L, inAggQuery)
+		if err != nil {
+			return nil, err
+		}
+		r, err := cc.compile(n.R, inAggQuery)
+		if err != nil {
+			return nil, err
+		}
+		return &cBinary{op: n.Op, l: l, r: r}, nil
+	case *UnaryExpr:
+		x, err := cc.compile(n.X, inAggQuery)
+		if err != nil {
+			return nil, err
+		}
+		return &cUnary{op: n.Op, x: x}, nil
+	}
+	return nil, fmt.Errorf("sql: unsupported expression %T", e)
+}
+
+func (pl *queryPlan) run(tbl *engine.Table) (*Result, error) {
+	res := &Result{Columns: pl.columns}
+	if pl.aggregate {
+		ctx := &rowCtx{}
+		err := tbl.Scan(func(key int64, row *engine.RowView) (bool, error) {
+			ctx.key, ctx.row = key, row
+			if pl.where != nil {
+				ok, err := pl.where.eval(ctx)
+				if err != nil {
+					return false, err
+				}
+				if !truthy(ok) {
+					return true, nil
+				}
+			}
+			for _, a := range pl.accs {
+				if err := a.add(ctx); err != nil {
+					return false, err
+				}
+			}
+			return true, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		ctx.aggVals = make([]engine.Value, len(pl.accs))
+		for i, a := range pl.accs {
+			ctx.aggVals[i] = a.result()
+		}
+		out := make([]engine.Value, len(pl.items))
+		for i, it := range pl.items {
+			v, err := it.eval(ctx)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		res.Rows = append(res.Rows, out)
+		return res, nil
+	}
+	// Projection scan.
+	ctx := &rowCtx{}
+	err := tbl.Scan(func(key int64, row *engine.RowView) (bool, error) {
+		ctx.key, ctx.row = key, row
+		if pl.where != nil {
+			ok, err := pl.where.eval(ctx)
+			if err != nil {
+				return false, err
+			}
+			if !truthy(ok) {
+				return true, nil
+			}
+		}
+		out := make([]engine.Value, len(pl.items))
+		for i, it := range pl.items {
+			v, err := it.eval(ctx)
+			if err != nil {
+				return false, err
+			}
+			// Binary values alias the pinned page; copy to materialize.
+			if v.Kind == engine.ColVarBinary || v.Kind == engine.ColVarBinaryMax {
+				v.B = append([]byte(nil), v.B...)
+			}
+			out[i] = v
+		}
+		res.Rows = append(res.Rows, out)
+		if pl.top > 0 && int64(len(res.Rows)) >= pl.top {
+			return false, nil
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

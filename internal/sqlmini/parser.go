@@ -1,0 +1,375 @@
+package sqlmini
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Parse parses a single SELECT statement.
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, errAt(p.peek().pos, "unexpected %q after statement", p.peek().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token   { return p.toks[p.i] }
+func (p *parser) next() token   { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) atEOF() bool   { return p.peek().kind == tokEOF }
+func (p *parser) save() int     { return p.i }
+func (p *parser) restore(s int) { p.i = s }
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.kind == tokKeyword && t.text == kw {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return errAt(p.peek().pos, "expected %s, got %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if t := p.peek(); t.kind == tokPunct && t.text == s {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return errAt(p.peek().pos, "expected %q, got %q", s, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) selectStmt() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{}
+	if p.acceptKeyword("TOP") {
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, errAt(t.pos, "TOP wants a number, got %q", t.text)
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil || n <= 0 {
+			return nil, errAt(t.pos, "bad TOP count %q", t.text)
+		}
+		p.next()
+		stmt.Top = n
+	}
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind != tokIdent {
+		return nil, errAt(t.pos, "expected table name, got %q", t.text)
+	}
+	stmt.Table = p.next().text
+	// WITH (NOLOCK) table hint — accepted and recorded, a no-op in our
+	// single-writer engine, exactly as in the paper's test queries.
+	if p.acceptKeyword("WITH") {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("NOLOCK"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		stmt.NoLock = true
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	return stmt, nil
+}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	e, err := p.expr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		t := p.peek()
+		if t.kind != tokIdent && t.kind != tokString {
+			return SelectItem{}, errAt(t.pos, "expected alias, got %q", t.text)
+		}
+		item.Alias = p.next().text
+	} else if t := p.peek(); t.kind == tokIdent {
+		// bare alias: SELECT COUNT(*) n FROM t
+		item.Alias = p.next().text
+	}
+	return item, nil
+}
+
+// Expression grammar, loosest binding first:
+//
+//	orExpr   := andExpr (OR andExpr)*
+//	andExpr  := notExpr (AND notExpr)*
+//	notExpr  := [NOT] cmpExpr
+//	cmpExpr  := addExpr ((= | <> | < | <= | > | >=) addExpr)?
+//	addExpr  := mulExpr ((+|-) mulExpr)*
+//	mulExpr  := unary ((*|/|%) unary)*
+//	unary    := [-] primary
+//	primary  := number | string | NULL | aggcall | funccall | colref | (expr)
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", X: x}, nil
+	}
+	return p.cmpExpr()
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind == tokOp {
+		switch t.text {
+		case "=", "<>", "<", "<=", ">", ">=":
+			p.next()
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: t.text, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokOp && (t.text == "+" || t.text == "-") {
+			p.next()
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: t.text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		isMul := t.kind == tokPunct && t.text == "*"
+		isDiv := t.kind == tokOp && (t.text == "/" || t.text == "%")
+		if isMul || isDiv {
+			p.next()
+			r, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			op := t.text
+			l = &BinaryExpr{Op: op, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	if t := p.peek(); t.kind == tokOp && t.text == "-" {
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", X: x}, nil
+	}
+	if t := p.peek(); t.kind == tokOp && t.text == "+" {
+		p.next()
+		return p.unary()
+	}
+	return p.primary()
+}
+
+var aggKinds = map[string]AggKind{
+	"COUNT": AggCount, "SUM": AggSum, "AVG": AggAvg, "MIN": AggMin, "MAX": AggMax,
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		if i, err := strconv.ParseInt(t.text, 10, 64); err == nil {
+			return &NumberLit{I: i, F: float64(i), IsInt: true}, nil
+		}
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, errAt(t.pos, "bad number %q", t.text)
+		}
+		return &NumberLit{F: f}, nil
+	case tokString:
+		p.next()
+		return &StringLit{S: t.text}, nil
+	case tokKeyword:
+		switch t.text {
+		case "NULL":
+			p.next()
+			return &NullLit{}, nil
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			p.next()
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			kind := aggKinds[t.text]
+			if kind == AggCount && p.acceptPunct("*") {
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				return &AggCall{Kind: AggCount}, nil
+			}
+			arg, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return &AggCall{Kind: kind, Arg: arg}, nil
+		}
+		return nil, errAt(t.pos, "unexpected keyword %q", t.text)
+	case tokPunct:
+		if t.text == "(" {
+			p.next()
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		return nil, errAt(t.pos, "unexpected %q", t.text)
+	case tokIdent:
+		// ident | ident.ident | ident(args) | ident.ident(args)
+		p.next()
+		name := t.text
+		qualified := false
+		if p.acceptPunct(".") {
+			t2 := p.peek()
+			if t2.kind != tokIdent && t2.kind != tokKeyword {
+				return nil, errAt(t2.pos, "expected name after %q.", name)
+			}
+			p.next()
+			name = name + "." + t2.text
+			qualified = true
+		}
+		if p.acceptPunct("(") {
+			call := &FuncCall{Name: strings.ToLower(name)}
+			if !p.acceptPunct(")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if p.acceptPunct(",") {
+						continue
+					}
+					if err := p.expectPunct(")"); err != nil {
+						return nil, err
+					}
+					break
+				}
+			}
+			return call, nil
+		}
+		if qualified {
+			return nil, errAt(t.pos, "qualified name %q must be a function call", name)
+		}
+		return &ColRef{Name: name}, nil
+	}
+	return nil, errAt(t.pos, "unexpected end of statement")
+}

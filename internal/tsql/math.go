@@ -1,0 +1,141 @@
+package tsql
+
+import (
+	"fmt"
+
+	"sqlarray/internal/core"
+	"sqlarray/internal/engine"
+	"sqlarray/internal/fft"
+	"sqlarray/internal/lapack"
+)
+
+// registerMath installs the §5.3 math-library entry points. They live
+// under the max-class float/complex schemas, as in the paper's example
+// "SET @ft = FloatArrayMax.FFTForward(@a)"; short-class and Float32
+// inputs are accepted and promoted, because "calling them only requires
+// marshaling pointers" once the blob is in memory.
+func registerMath(reg *engine.FuncRegistry) {
+	// FFT of any real or complex array (any rank: N-dimensional
+	// transform over the column-major payload).
+	fftFn := func(dir fft.Direction) engine.ScalarFunc {
+		return func(args []engine.Value) (engine.Value, error) {
+			a, err := anyArrayArg(args[0])
+			if err != nil {
+				return engine.Null, err
+			}
+			data := a.Complex128s()
+			dims := a.Dims()
+			if len(dims) == 0 {
+				dims = []int{1}
+			}
+			if err := fft.FFTN(data, dims, dir); err != nil {
+				return engine.Null, err
+			}
+			out, err := core.FromComplex128s(core.Max, core.Complex128, data, dims...)
+			if err != nil {
+				return engine.Null, err
+			}
+			return arrayResult(out), nil
+		}
+	}
+	reg.Register("FloatArrayMax.FFTForward", 1, fftFn(fft.Forward))
+	reg.Register("FloatArrayMax.FFTInverse", 1, fftFn(fft.Inverse))
+	reg.Register("DoubleComplexArrayMax.FFTForward", 1, fftFn(fft.Forward))
+	reg.Register("DoubleComplexArrayMax.FFTInverse", 1, fftFn(fft.Inverse))
+
+	// matArg converts a rank-2 array into a lapack matrix (zero-copy in
+	// spirit: one bulk conversion, no transposition, because both sides
+	// are column-major).
+	matArg := func(v engine.Value) (lapack.Mat, error) {
+		a, err := anyArrayArg(v)
+		if err != nil {
+			return lapack.Mat{}, err
+		}
+		if a.Rank() != 2 {
+			return lapack.Mat{}, fmt.Errorf("%w: matrix function wants rank 2, got %d",
+				core.ErrRank, a.Rank())
+		}
+		return lapack.MatFrom(a.Dim(0), a.Dim(1), a.Float64s())
+	}
+	vecArg := func(v engine.Value) ([]float64, error) {
+		a, err := anyArrayArg(v)
+		if err != nil {
+			return nil, err
+		}
+		if a.Rank() != 1 {
+			return nil, fmt.Errorf("%w: vector function wants rank 1, got %d",
+				core.ErrRank, a.Rank())
+		}
+		return a.Float64s(), nil
+	}
+	vecResult := func(x []float64) (engine.Value, error) {
+		out, err := core.FromFloat64s(core.Max, core.Float64, x, len(x))
+		if err != nil {
+			return engine.Null, err
+		}
+		return arrayResult(out), nil
+	}
+
+	// SVDValues: the *gesvd wrapper of §3.6 reduced to its singular
+	// values (full U/V are exposed through the Go API).
+	reg.Register("FloatArrayMax.SVDValues", 1, func(args []engine.Value) (engine.Value, error) {
+		m, err := matArg(args[0])
+		if err != nil {
+			return engine.Null, err
+		}
+		s, err := lapack.SingularValues(m)
+		if err != nil {
+			return engine.Null, err
+		}
+		return vecResult(s)
+	})
+	reg.Register("FloatArrayMax.Solve", 2, func(args []engine.Value) (engine.Value, error) {
+		m, err := matArg(args[0])
+		if err != nil {
+			return engine.Null, err
+		}
+		b, err := vecArg(args[1])
+		if err != nil {
+			return engine.Null, err
+		}
+		x, err := lapack.LeastSquares(m, b)
+		if err != nil {
+			return engine.Null, err
+		}
+		return vecResult(x)
+	})
+	reg.Register("FloatArrayMax.NNLS", 2, func(args []engine.Value) (engine.Value, error) {
+		m, err := matArg(args[0])
+		if err != nil {
+			return engine.Null, err
+		}
+		b, err := vecArg(args[1])
+		if err != nil {
+			return engine.Null, err
+		}
+		x, err := lapack.NNLS(m, b)
+		if err != nil {
+			return engine.Null, err
+		}
+		return vecResult(x)
+	})
+	reg.Register("FloatArrayMax.MatMul", 2, func(args []engine.Value) (engine.Value, error) {
+		a, err := matArg(args[0])
+		if err != nil {
+			return engine.Null, err
+		}
+		b, err := matArg(args[1])
+		if err != nil {
+			return engine.Null, err
+		}
+		c, err := lapack.MatMul(a, b)
+		if err != nil {
+			return engine.Null, err
+		}
+		out, err := core.FromFloat64s(core.Max, core.Float64, c.Data, c.M, c.N)
+		if err != nil {
+			return engine.Null, err
+		}
+		return arrayResult(out), nil
+	})
+}

@@ -1,0 +1,101 @@
+package tsql
+
+import (
+	"fmt"
+
+	"sqlarray/internal/core"
+	"sqlarray/internal/engine"
+	"sqlarray/internal/sqlmini"
+)
+
+// registerQueryFuncs installs the table-to-array conversion functions
+// that take a SQL query as a string parameter — the paper's replacement
+// for the too-slow UDA Concat (§4.2: "we wrote plain SQL CLR scalar
+// functions that take a SQL query as an input parameter of string,
+// aggregate rows sequentially and return the resulting array").
+//
+// FloatArrayMax.FromQuery(@l, 'SELECT ix, v FROM table') builds an array
+// shaped by the index vector @l from rows of (index-vector, value).
+// FloatArrayMax.VectorFromQuery(n, 'SELECT i, v FROM t') is the common
+// rank-1 case with plain integer indexes.
+func registerQueryFuncs(db *engine.DB) {
+	reg := db.Funcs()
+	for _, s := range allSchemas() {
+		if s.class != core.Max {
+			continue // the paper registers these on the max schemas
+		}
+		s := s
+		reg.Register(s.name+".FromQuery", 2, func(args []engine.Value) (engine.Value, error) {
+			dims, err := intVectorArg(args[0])
+			if err != nil {
+				return engine.Null, err
+			}
+			q, err := args[1].AsBinary()
+			if err != nil {
+				return engine.Null, err
+			}
+			res, err := sqlmini.Run(db, string(q))
+			if err != nil {
+				return engine.Null, fmt.Errorf("tsql: FromQuery inner query: %w", err)
+			}
+			if len(res.Columns) != 2 {
+				return engine.Null, fmt.Errorf("tsql: FromQuery wants (index, value) rows, got %d columns",
+					len(res.Columns))
+			}
+			b, err := core.NewBuilder(core.Max, s.elem, dims...)
+			if err != nil {
+				return engine.Null, err
+			}
+			for _, row := range res.Rows {
+				ix, err := anyArrayArg(row[0])
+				if err != nil {
+					return engine.Null, fmt.Errorf("tsql: FromQuery index column: %w", err)
+				}
+				v, err := row[1].AsFloat()
+				if err != nil {
+					return engine.Null, err
+				}
+				if err := b.SetVec(ix, v); err != nil {
+					return engine.Null, err
+				}
+			}
+			return arrayResult(b.Array()), nil
+		})
+		reg.Register(s.name+".VectorFromQuery", 2, func(args []engine.Value) (engine.Value, error) {
+			n, err := args[0].AsInt()
+			if err != nil {
+				return engine.Null, err
+			}
+			q, err := args[1].AsBinary()
+			if err != nil {
+				return engine.Null, err
+			}
+			res, err := sqlmini.Run(db, string(q))
+			if err != nil {
+				return engine.Null, fmt.Errorf("tsql: VectorFromQuery inner query: %w", err)
+			}
+			if len(res.Columns) != 2 {
+				return engine.Null, fmt.Errorf("tsql: VectorFromQuery wants (i, v) rows, got %d columns",
+					len(res.Columns))
+			}
+			b, err := core.NewBuilder(core.Max, s.elem, int(n))
+			if err != nil {
+				return engine.Null, err
+			}
+			for _, row := range res.Rows {
+				i, err := row[0].AsInt()
+				if err != nil {
+					return engine.Null, err
+				}
+				v, err := row[1].AsFloat()
+				if err != nil {
+					return engine.Null, err
+				}
+				if err := b.SetLinear(int(i), v); err != nil {
+					return engine.Null, err
+				}
+			}
+			return arrayResult(b.Array()), nil
+		})
+	}
+}

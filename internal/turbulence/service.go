@@ -1,0 +1,281 @@
+package turbulence
+
+import (
+	"fmt"
+	"math"
+
+	"sqlarray/internal/blob"
+	"sqlarray/internal/core"
+	"sqlarray/internal/interp"
+	"sqlarray/internal/sfc"
+)
+
+// FetchMode selects how much of a blob an interpolation query reads.
+type FetchMode int
+
+const (
+	// WholeBlob fetches the entire sub-cube blob, the "accessing the
+	// whole blob (6 MB) for an 8-point 3D interpolation is obviously
+	// overkill" baseline of §2.1.
+	WholeBlob FetchMode = iota
+	// PartialRead fetches only the stencil's byte runs through the blob
+	// store's partial-read path.
+	PartialRead
+)
+
+// String names the fetch mode.
+func (m FetchMode) String() string {
+	if m == PartialRead {
+		return "partial"
+	}
+	return "whole"
+}
+
+// Velocity interpolates the velocity vector at a continuous position
+// (in grid units, periodic) from snapshot step.
+func (s *Store) Velocity(step int, p [3]float64, scheme interp.Scheme, mode FetchMode) ([3]float64, error) {
+	out, err := s.VelocityBatch(step, [][3]float64{p}, scheme, mode)
+	if err != nil {
+		return [3]float64{}, err
+	}
+	return out[0], nil
+}
+
+// VelocityBatch interpolates a batch of positions, the shape of the
+// public web service ("users can submit a set of about 10,000 particle
+// positions ... and retrieve the interpolated values of the velocity
+// field at those positions", §2.1). Whole-blob fetches are cached per
+// batch so each touched cube is read once.
+func (s *Store) VelocityBatch(step int, pts [][3]float64, scheme interp.Scheme, mode FetchMode) ([][3]float64, error) {
+	np := scheme.Points()
+	if np/2 > s.ghost && np > 1 {
+		return nil, fmt.Errorf("turbulence: scheme %v needs ghost >= %d, store has %d",
+			scheme, np/2, s.ghost)
+	}
+	out := make([][3]float64, len(pts))
+	cache := map[int64][]float64{}
+	for i, p := range pts {
+		v, err := s.velocityOne(step, p, scheme, mode, cache)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (s *Store) velocityOne(step int, p [3]float64, scheme interp.Scheme, mode FetchMode, cache map[int64][]float64) ([3]float64, error) {
+	n := float64(s.n)
+	// Wrap into [0, n).
+	var g [3]float64
+	for d := 0; d < 3; d++ {
+		x := math.Mod(p[d], n)
+		if x < 0 {
+			x += n
+		}
+		g[d] = x
+	}
+	cx := int(g[0]) / s.cube
+	cy := int(g[1]) / s.cube
+	cz := int(g[2]) / s.cube
+	// Local coordinates inside the ghosted block.
+	lx := g[0] - float64(cx*s.cube) + float64(s.ghost)
+	ly := g[1] - float64(cy*s.cube) + float64(s.ghost)
+	lz := g[2] - float64(cz*s.cube) + float64(s.ghost)
+
+	np := scheme.Points()
+	m := s.blockSide()
+	if scheme == interp.Nearest {
+		ix, iy, iz := int(math.Round(lx)), int(math.Round(ly)), int(math.Round(lz))
+		if ix >= m {
+			ix = m - 1
+		}
+		if iy >= m {
+			iy = m - 1
+		}
+		if iz >= m {
+			iz = m - 1
+		}
+		return s.stencilValue(step, cx, cy, cz, ix, iy, iz, 1,
+			[]float64{1}, []float64{1}, []float64{1}, mode, cache)
+	}
+	i0x, tx := int(math.Floor(lx)), lx-math.Floor(lx)
+	i0y, ty := int(math.Floor(ly)), ly-math.Floor(ly)
+	i0z, tz := int(math.Floor(lz)), lz-math.Floor(lz)
+	wx := make([]float64, np)
+	wy := make([]float64, np)
+	wz := make([]float64, np)
+	axisWeightsFor(scheme, tx, wx)
+	axisWeightsFor(scheme, ty, wy)
+	axisWeightsFor(scheme, tz, wz)
+	base := np/2 - 1
+	return s.stencilValue(step, cx, cy, cz, i0x-base, i0y-base, i0z-base, np, wx, wy, wz, mode, cache)
+}
+
+// axisWeightsFor mirrors interp's per-axis weights for the tensor
+// product kernels.
+func axisWeightsFor(scheme interp.Scheme, t float64, w []float64) {
+	switch scheme {
+	case interp.Linear:
+		w[0], w[1] = 1-t, t
+	default:
+		// PCHIP and LagN share the Lagrange tensor weights, matching
+		// interp's per-axis construction.
+		lagrangeInto(len(w), t, w)
+	}
+}
+
+// lagrangeInto duplicates interp's Lagrange basis (kept here to avoid
+// exporting interp internals).
+func lagrangeInto(np int, t float64, w []float64) {
+	for k := 0; k < np; k++ {
+		xk := float64(k - (np/2 - 1))
+		num, den := 1.0, 1.0
+		for j := 0; j < np; j++ {
+			if j == k {
+				continue
+			}
+			xj := float64(j - (np/2 - 1))
+			num *= t - xj
+			den *= xk - xj
+		}
+		w[k] = num / den
+	}
+}
+
+// stencilValue evaluates the weighted sum over an np³ stencil starting
+// at (sx, sy, sz) in block coordinates, for the three velocity channels.
+func (s *Store) stencilValue(step, cx, cy, cz, sx, sy, sz, np int,
+	wx, wy, wz []float64, mode FetchMode, cache map[int64][]float64) ([3]float64, error) {
+	m := s.blockSide()
+	if sx < 0 || sy < 0 || sz < 0 || sx+np > m || sy+np > m || sz+np > m {
+		return [3]float64{}, fmt.Errorf("turbulence: stencil [%d..%d) outside block of side %d (ghost too small)",
+			sx, sx+np, m)
+	}
+	var data []float64 // stencil-local (np³ × 3) or whole block (m³ × 4)
+	var stride, chStride, off int
+	switch mode {
+	case WholeBlob:
+		code, err := s.cubeCode(cx, cy, cz)
+		if err != nil {
+			return [3]float64{}, err
+		}
+		key := keyFor(step, code)
+		blk, ok := cache[key]
+		if !ok {
+			row, err := s.table.Get(key)
+			if err != nil {
+				return [3]float64{}, err
+			}
+			raw, err := s.table.FetchBlob(row[1].B)
+			if err != nil {
+				return [3]float64{}, err
+			}
+			arr, err := core.Wrap(raw)
+			if err != nil {
+				return [3]float64{}, err
+			}
+			blk = arr.Float64s()
+			cache[key] = blk
+		}
+		data = blk
+		stride = m
+		chStride = m * m * m
+		off = (sz*m+sy)*m + sx
+	case PartialRead:
+		sub, err := s.readStencil(step, cx, cy, cz, sx, sy, sz, np)
+		if err != nil {
+			return [3]float64{}, err
+		}
+		data = sub
+		stride = np
+		chStride = np * np * np
+		off = 0
+	default:
+		return [3]float64{}, fmt.Errorf("turbulence: unknown fetch mode %d", mode)
+	}
+	var out [3]float64
+	for ch := 0; ch < 3; ch++ {
+		sum := 0.0
+		for kz := 0; kz < np; kz++ {
+			wzk := wz[kz]
+			for ky := 0; ky < np; ky++ {
+				wyk := wy[ky] * wzk
+				row := off + ch*chStride + (kz*stride+ky)*stride
+				for kx := 0; kx < np; kx++ {
+					sum += wx[kx] * wyk * data[row+kx]
+				}
+			}
+		}
+		out[ch] = sum
+	}
+	return out, nil
+}
+
+func (s *Store) cubeCode(cx, cy, cz int) (uint64, error) {
+	return sfc.Encode3D(uint32(cx), uint32(cy), uint32(cz))
+}
+
+// readStencil performs the partial-read path: only the byte runs of the
+// np³×3 stencil sub-array are fetched from the out-of-page blob.
+func (s *Store) readStencil(step, cx, cy, cz, sx, sy, sz, np int) ([]float64, error) {
+	ref, err := s.fetchRef(step, cx, cy, cz)
+	if err != nil {
+		return nil, err
+	}
+	m := s.blockSide()
+	h := core.Header{Class: core.Max, Elem: core.Float64, Dims: []int{m, m, m, Channels}}
+	runs, err := core.SubarrayPlan(h, []int{sx, sy, sz, 0}, []int{np, np, np, 3})
+	if err != nil {
+		return nil, err
+	}
+	hdr := h.EncodedSize()
+	blobRuns := make([]blob.Run, len(runs))
+	dstBytes := 0
+	for i, r := range runs {
+		blobRuns[i] = blob.Run{SrcOff: r.SrcOff + hdr, DstOff: r.DstOff, Len: r.Len}
+		dstBytes += r.Len
+	}
+	dst := make([]byte, dstBytes)
+	if err := s.db.Blobs().ReadRuns(ref, dst, blobRuns); err != nil {
+		return nil, err
+	}
+	out := make([]float64, dstBytes/8)
+	for i := range out {
+		out[i] = math.Float64frombits(leUint64(dst[8*i:]))
+	}
+	return out, nil
+}
+
+func leUint64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// ServiceStats reports the I/O the service generated, for the blob-size
+// trade-off experiment (E10).
+type ServiceStats struct {
+	PhysicalReads uint64
+	BytesRead     uint64
+	ChunkReads    uint64
+}
+
+// Stats snapshots I/O counters from the underlying pools.
+func (s *Store) Stats() ServiceStats {
+	ps := s.db.Pool().Stats()
+	bs := s.db.Blobs().Stats()
+	return ServiceStats{
+		PhysicalReads: ps.PhysicalReads,
+		BytesRead:     ps.BytesRead,
+		ChunkReads:    bs.ChunkReads,
+	}
+}
+
+// ResetStats zeroes the counters before a measured run.
+func (s *Store) ResetStats() {
+	s.db.Pool().ResetStats()
+	s.db.Blobs().ResetStats()
+}
+
+// DropCache clears the buffer pool, forcing cold reads.
+func (s *Store) DropCache() error { return s.db.DropCleanBuffers() }
