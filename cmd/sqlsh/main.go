@@ -52,12 +52,12 @@ subscript sugar; \q quits. A table "demo"(id BIGINT, v VARBINARY short float
 			fmt.Printf("mapped %s -> %s\n", parts[1], parts[2])
 			continue
 		}
-		res, err := db.QueryArray(line, cols)
+		rows, err := db.QueryArrayRows(line, cols)
 		if err != nil {
 			fmt.Println("error:", err)
 			continue
 		}
-		printResult(res)
+		printRows(rows)
 	}
 }
 
@@ -85,16 +85,26 @@ func createDemoTable(db *sqlarray.Database) error {
 	return nil
 }
 
-func printResult(res *sqlarray.Result) {
-	fmt.Println(strings.Join(res.Columns, " | "))
-	for _, row := range res.Rows {
+// printRows streams the result: each row is printed as it comes off the
+// operator pipeline, so a TOP n over a huge table prints immediately.
+func printRows(rows *sqlarray.Rows) {
+	defer rows.Close()
+	fmt.Println(strings.Join(rows.Columns(), " | "))
+	n := 0
+	for rows.Next() {
+		row := rows.Row()
 		cells := make([]string, len(row))
 		for i, v := range row {
 			cells[i] = renderValue(v)
 		}
 		fmt.Println(strings.Join(cells, " | "))
+		n++
 	}
-	fmt.Printf("(%d row(s))\n", len(res.Rows))
+	if err := rows.Err(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("(%d row(s))\n", n)
 }
 
 // renderValue pretty-prints binary cells that hold valid arrays.

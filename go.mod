@@ -1,0 +1,3 @@
+module sqlarray
+
+go 1.21

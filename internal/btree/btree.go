@@ -477,6 +477,72 @@ func (t *Tree) leftmostLeaf() (pages.PageID, error) {
 	return id, nil
 }
 
+// Bounds returns the smallest and largest keys currently stored. ok is
+// false when the tree is empty. The parallel scan planner uses this to
+// partition the key space across workers.
+func (t *Tree) Bounds() (min, max int64, ok bool, err error) {
+	it, err := t.Scan()
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if !it.Next() {
+		err := it.Err()
+		it.Close()
+		return 0, 0, false, err
+	}
+	min = it.Key()
+	it.Close()
+	max, ok, err = t.maxKey()
+	if err != nil || !ok {
+		return 0, 0, false, err
+	}
+	return min, max, true, nil
+}
+
+// maxKey walks to the rightmost leaf (following the prev chain past any
+// leaves emptied by lazy deletion) and returns its last live key.
+func (t *Tree) maxKey() (int64, bool, error) {
+	id := t.root
+	for level := t.height; level > 1; level-- {
+		f, err := t.bp.Fetch(id)
+		if err != nil {
+			return 0, false, err
+		}
+		n := f.Page.NumSlots()
+		if n == 0 {
+			t.bp.Unpin(f, false)
+			return 0, false, fmt.Errorf("btree: empty internal node %d", id)
+		}
+		rec, err := f.Page.Record(n - 1)
+		if err != nil {
+			t.bp.Unpin(f, false)
+			return 0, false, fmt.Errorf("btree: corrupt internal node %d: %w", id, err)
+		}
+		_, child := decodeInternalRec(rec)
+		t.bp.Unpin(f, false)
+		id = child
+	}
+	for id != pages.InvalidPageID {
+		f, err := t.bp.Fetch(id)
+		if err != nil {
+			return 0, false, err
+		}
+		for slot := f.Page.NumSlots() - 1; slot >= 0; slot-- {
+			rec, err := f.Page.Record(slot)
+			if err != nil {
+				continue // dead slot
+			}
+			key := leafKey(rec)
+			t.bp.Unpin(f, false)
+			return key, true, nil
+		}
+		prev := f.Page.Prev()
+		t.bp.Unpin(f, false)
+		id = prev
+	}
+	return 0, false, nil
+}
+
 // leafFor descends to the leaf page that would contain key.
 func (t *Tree) leafFor(key int64) (pages.PageID, error) {
 	id := t.root

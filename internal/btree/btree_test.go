@@ -330,3 +330,161 @@ func TestScanSurvivesSmallBufferPool(t *testing.T) {
 		t.Error("expected evictions with an 8-frame pool")
 	}
 }
+
+func TestScanRange(t *testing.T) {
+	tr := newTestTree(t, 64)
+	for i := int64(0); i < 500; i++ {
+		if err := tr.Insert(i*2, val(i)); err != nil { // even keys 0..998
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		lo, hi int64
+		first  int64
+		count  int
+	}{
+		{0, 998, 0, 500},
+		{100, 200, 100, 51},
+		{101, 199, 102, 49}, // bounds between keys
+		{997, 2000, 998, 1},
+		{999, 2000, 0, 0}, // past the end
+		{-50, -1, 0, 0},   // before the start
+		{10, 5, 0, 0},     // inverted
+		{42, 42, 42, 1},   // point
+		{43, 43, 0, 0},    // point miss
+	}
+	for _, c := range cases {
+		it, err := tr.ScanRange(c.lo, c.hi)
+		if err != nil {
+			t.Fatalf("ScanRange(%d,%d): %v", c.lo, c.hi, err)
+		}
+		n := 0
+		var first int64
+		for it.Next() {
+			if n == 0 {
+				first = it.Key()
+			}
+			if it.Key() < c.lo || it.Key() > c.hi {
+				t.Errorf("ScanRange(%d,%d) yielded out-of-range key %d", c.lo, c.hi, it.Key())
+			}
+			n++
+		}
+		if err := it.Err(); err != nil {
+			t.Fatalf("ScanRange(%d,%d): %v", c.lo, c.hi, err)
+		}
+		it.Close()
+		if n != c.count {
+			t.Errorf("ScanRange(%d,%d) = %d keys, want %d", c.lo, c.hi, n, c.count)
+		}
+		if n > 0 && first != c.first {
+			t.Errorf("ScanRange(%d,%d) first = %d, want %d", c.lo, c.hi, first, c.first)
+		}
+	}
+	if got := tr.bp.PinnedFrames(); got != 0 {
+		t.Errorf("PinnedFrames after range scans = %d", got)
+	}
+}
+
+func TestScanRangeUnpinsOnBoundStop(t *testing.T) {
+	tr := newTestTree(t, 64)
+	for i := int64(0); i < 2000; i++ {
+		if err := tr.Insert(i, val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Exhaust a bounded iterator WITHOUT calling Close: hitting the upper
+	// bound must release the pinned leaf on its own.
+	it, err := tr.ScanRange(100, 110)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it.Next() {
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.bp.PinnedFrames(); got != 0 {
+		t.Errorf("PinnedFrames after bound-terminated scan (no Close) = %d, want 0", got)
+	}
+	it.Close() // still safe
+
+	// Early Close mid-range must unpin too (the TOP-n path).
+	it, err = tr.ScanRange(0, 1999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if !it.Next() {
+			t.Fatal("short scan")
+		}
+	}
+	if got := tr.bp.PinnedFrames(); got != 1 {
+		t.Errorf("PinnedFrames mid-scan = %d, want 1", got)
+	}
+	it.Close()
+	if got := tr.bp.PinnedFrames(); got != 0 {
+		t.Errorf("PinnedFrames after early Close = %d, want 0", got)
+	}
+	if err := tr.bp.DropCleanBuffers(); err != nil {
+		t.Errorf("DropCleanBuffers after early Close: %v", err)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	tr := newTestTree(t, 64)
+	if _, _, ok, err := tr.Bounds(); err != nil || ok {
+		t.Fatalf("empty tree Bounds: ok=%v err=%v", ok, err)
+	}
+	keys := []int64{42, -17, 9000, 3, 512}
+	for _, k := range keys {
+		if err := tr.Insert(k, val(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	min, max, ok, err := tr.Bounds()
+	if err != nil || !ok {
+		t.Fatalf("Bounds: ok=%v err=%v", ok, err)
+	}
+	if min != -17 || max != 9000 {
+		t.Errorf("Bounds = [%d, %d], want [-17, 9000]", min, max)
+	}
+	// Grow across splits and re-check.
+	for i := int64(0); i < 3000; i++ {
+		if err := tr.Put(i*3, val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	min, max, ok, err = tr.Bounds()
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if min != -17 || max != 9000 {
+		t.Errorf("Bounds after growth = [%d, %d], want [-17, 9000]", min, max)
+	}
+	if got := tr.bp.PinnedFrames(); got != 0 {
+		t.Errorf("PinnedFrames after Bounds = %d", got)
+	}
+}
+
+func TestBoundsAfterDeletingMax(t *testing.T) {
+	tr := newTestTree(t, 64)
+	for i := int64(0); i < 1000; i++ {
+		if err := tr.Insert(i, val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Lazy deletion can leave the rightmost leaf empty; maxKey must walk
+	// the prev chain past it.
+	for i := int64(400); i < 1000; i++ {
+		if err := tr.Delete(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, max, ok, err := tr.Bounds()
+	if err != nil || !ok {
+		t.Fatalf("Bounds after deletes: ok=%v err=%v", ok, err)
+	}
+	if max != 399 {
+		t.Errorf("max after deletes = %d, want 399", max)
+	}
+}

@@ -17,13 +17,15 @@ import (
 // Value aliases the pinned page buffer and is only valid until the next
 // call to Next or Close; copy to retain.
 type Iterator struct {
-	t     *Tree
-	frame *pages.Frame
-	slot  int
-	key   int64
-	val   []byte
-	err   error
-	done  bool
+	t       *Tree
+	frame   *pages.Frame
+	slot    int
+	key     int64
+	val     []byte
+	err     error
+	done    bool
+	hi      int64
+	bounded bool
 }
 
 // Scan returns an iterator over the whole tree.
@@ -52,6 +54,23 @@ func (t *Tree) ScanFrom(start int64) (*Iterator, error) {
 	return it, nil
 }
 
+// ScanRange returns an iterator over keys in [lo, hi], both inclusive.
+// The iterator stops — and releases its pinned page — as soon as it sees
+// a key past hi, so a narrow range over a large tree touches only the
+// pages the range spans plus the root-to-leaf descent.
+func (t *Tree) ScanRange(lo, hi int64) (*Iterator, error) {
+	if lo > hi {
+		return &Iterator{t: t, done: true}, nil
+	}
+	it, err := t.ScanFrom(lo)
+	if err != nil {
+		return nil, err
+	}
+	it.hi = hi
+	it.bounded = true
+	return it, nil
+}
+
 func (t *Tree) newIterator(leaf pages.PageID, slot int) (*Iterator, error) {
 	f, err := t.bp.Fetch(leaf)
 	if err != nil {
@@ -73,7 +92,17 @@ func (it *Iterator) Next() bool {
 			if err != nil {
 				continue // skip dead slots
 			}
-			it.key = leafKey(rec)
+			key := leafKey(rec)
+			if it.bounded && key > it.hi {
+				// Past the upper bound: the scan is over. Unpin now rather
+				// than waiting for Close, so a bound-terminated scan leaves
+				// no pinned pages even if the caller forgets to Close.
+				it.t.bp.Unpin(it.frame, false)
+				it.frame = nil
+				it.done = true
+				return false
+			}
+			it.key = key
 			it.val = rec[8:]
 			return true
 		}

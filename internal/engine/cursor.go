@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"math"
+
+	"sqlarray/internal/btree"
+)
+
+// Cursor streams a table's rows in clustered-key order without
+// materializing them — the engine half of the Volcano executor. It wraps
+// the B+tree leaf iterator and decodes rows lazily through a reused
+// RowView:
+//
+//	cur, err := tbl.Cursor()
+//	for cur.Next() {
+//	    key, row := cur.Key(), cur.Row()
+//	}
+//	err = cur.Err()
+//	cur.Close()
+//
+// Row (and any binary Values decoded from it) aliases the pinned leaf
+// page and is only valid until the next call to Next or Close; copy to
+// retain. Close must always be called: it releases the pinned page, and
+// early termination (TOP n) would otherwise leak a pin and wedge
+// DropCleanBuffers.
+type Cursor struct {
+	it     *btree.Iterator
+	schema *Schema
+	rv     RowView
+}
+
+// Cursor opens a streaming scan over the whole table.
+func (t *Table) Cursor() (*Cursor, error) {
+	return t.CursorRange(math.MinInt64, math.MaxInt64)
+}
+
+// CursorFrom opens a streaming scan at the first key >= start.
+func (t *Table) CursorFrom(start int64) (*Cursor, error) {
+	return t.CursorRange(start, math.MaxInt64)
+}
+
+// CursorRange opens a streaming scan over keys in [lo, hi], inclusive.
+// The underlying iterator stops (and unpins) as soon as it passes hi, so
+// a key-range query touches only the root-to-leaf descent plus the pages
+// the range spans.
+func (t *Table) CursorRange(lo, hi int64) (*Cursor, error) {
+	it, err := t.tree.ScanRange(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return &Cursor{it: it, schema: &t.schema}, nil
+}
+
+// Next advances to the next row, returning false at the end of the range
+// or on error (check Err).
+func (c *Cursor) Next() bool {
+	if !c.it.Next() {
+		return false
+	}
+	c.rv.reset(c.schema, c.it.Value())
+	return true
+}
+
+// Key returns the current row's clustered key.
+func (c *Cursor) Key() int64 { return c.it.Key() }
+
+// Row returns the current row view, valid until the next Next or Close.
+func (c *Cursor) Row() *RowView { return &c.rv }
+
+// Err returns the first error encountered while scanning.
+func (c *Cursor) Err() error { return c.it.Err() }
+
+// Close releases the cursor's pinned page. Safe to call twice.
+func (c *Cursor) Close() { c.it.Close() }

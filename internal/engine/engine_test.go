@@ -405,3 +405,119 @@ func TestUDAvsDirectAggregate(t *testing.T) {
 		t.Errorf("direct run must not serialize state: %+v", st2)
 	}
 }
+
+func TestCursorStreamsRows(t *testing.T) {
+	db := NewMemDB()
+	s, err := NewSchema(
+		Column{Name: "id", Type: ColInt64},
+		Column{Name: "x", Type: ColFloat64},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.CreateTable("t", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 300; i++ {
+		if err := tbl.Insert([]Value{IntValue(i), FloatValue(float64(i) * 1.5)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur, err := tbl.Cursor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	for cur.Next() {
+		if cur.Key() != n {
+			t.Fatalf("key %d out of order (want %d)", cur.Key(), n)
+		}
+		v, err := cur.Row().Col(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.F != float64(n)*1.5 {
+			t.Fatalf("row %d col x = %v", n, v)
+		}
+		n++
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	cur.Close()
+	if n != 300 {
+		t.Errorf("cursor yielded %d rows, want 300", n)
+	}
+	if got := db.Pool().PinnedFrames(); got != 0 {
+		t.Errorf("PinnedFrames after full cursor scan = %d", got)
+	}
+}
+
+func TestCursorRangeAndEarlyClose(t *testing.T) {
+	db := NewMemDB()
+	s, _ := NewSchema(
+		Column{Name: "id", Type: ColInt64},
+		Column{Name: "x", Type: ColFloat64},
+	)
+	tbl, _ := db.CreateTable("t", s)
+	for i := int64(0); i < 5000; i++ {
+		if err := tbl.Insert([]Value{IntValue(i), FloatValue(float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Range cursor yields exactly [lo, hi].
+	cur, err := tbl.CursorRange(1000, 1009)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []int64
+	for cur.Next() {
+		keys = append(keys, cur.Key())
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	cur.Close()
+	if len(keys) != 10 || keys[0] != 1000 || keys[9] != 1009 {
+		t.Errorf("range keys = %v", keys)
+	}
+	// Early Close (the TOP-n exit) releases all pins; the cache can be
+	// dropped afterwards.
+	cur, err = tbl.CursorFrom(2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cur.Next() || cur.Key() != 2500 {
+		t.Fatalf("CursorFrom(2500) first key = %d", cur.Key())
+	}
+	cur.Close()
+	cur.Close() // idempotent
+	if got := db.Pool().PinnedFrames(); got != 0 {
+		t.Errorf("PinnedFrames after early Close = %d, want 0", got)
+	}
+	if err := db.DropCleanBuffers(); err != nil {
+		t.Errorf("DropCleanBuffers after early Close: %v", err)
+	}
+}
+
+func TestKeyBounds(t *testing.T) {
+	db := NewMemDB()
+	s, _ := NewSchema(Column{Name: "id", Type: ColInt64})
+	tbl, _ := db.CreateTable("t", s)
+	if _, _, ok, err := tbl.KeyBounds(); err != nil || ok {
+		t.Fatalf("empty table KeyBounds: ok=%v err=%v", ok, err)
+	}
+	for _, k := range []int64{-5, 7, 1000, 3} {
+		if err := tbl.Insert([]Value{IntValue(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	min, max, ok, err := tbl.KeyBounds()
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if min != -5 || max != 1000 {
+		t.Errorf("KeyBounds = [%d, %d], want [-5, 1000]", min, max)
+	}
+}

@@ -117,6 +117,13 @@ func (t *Table) Scan(fn func(key int64, row *RowView) (bool, error)) error {
 	return it.Err()
 }
 
+// KeyBounds returns the smallest and largest clustered keys present, or
+// ok=false for an empty table. The parallel scan planner partitions the
+// key space with this.
+func (t *Table) KeyBounds() (min, max int64, ok bool, err error) {
+	return t.tree.Bounds()
+}
+
 // FetchBlob materializes a VARBINARY(MAX) column value (a 12-byte ref,
 // as returned by RowView.Col) into its full bytes.
 func (t *Table) FetchBlob(refBytes []byte) ([]byte, error) {

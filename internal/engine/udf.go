@@ -6,6 +6,7 @@ import (
 	"math"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // This file implements the engine's user-defined-function boundary. The
@@ -43,11 +44,14 @@ type BoundaryStats struct {
 	BytesMarshaled uint64
 }
 
-// FuncRegistry resolves and invokes UDFs.
+// FuncRegistry resolves and invokes UDFs. Call may be invoked from
+// multiple goroutines concurrently (the parallel aggregate scan does);
+// the boundary counters are atomics for that reason.
 type FuncRegistry struct {
-	mu    sync.RWMutex
-	funcs map[string]*FuncDef
-	stats BoundaryStats
+	mu             sync.RWMutex
+	funcs          map[string]*FuncDef
+	calls          atomic.Uint64
+	bytesMarshaled atomic.Uint64
 }
 
 // boundaryPool recycles argument-marshaling buffers (a leaky free list:
@@ -95,18 +99,20 @@ func (r *FuncRegistry) Names() []string {
 	return out
 }
 
-// Stats returns a snapshot of the boundary counters.
+// Stats returns a snapshot of the boundary counters. The two counters
+// are loaded independently, so a snapshot taken while calls are in
+// flight may be torn by one call; quiesced reads are exact.
 func (r *FuncRegistry) Stats() BoundaryStats {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.stats
+	return BoundaryStats{
+		Calls:          r.calls.Load(),
+		BytesMarshaled: r.bytesMarshaled.Load(),
+	}
 }
 
 // ResetStats zeroes the boundary counters.
 func (r *FuncRegistry) ResetStats() {
-	r.mu.Lock()
-	r.stats = BoundaryStats{}
-	r.mu.Unlock()
+	r.calls.Store(0)
+	r.bytesMarshaled.Store(0)
 }
 
 // Call invokes a resolved UDF across the boundary. This is the per-row
@@ -121,8 +127,8 @@ func (r *FuncRegistry) Call(def *FuncDef, args []Value) (Value, error) {
 	for _, a := range args {
 		buf = marshalValue(buf, a)
 	}
-	r.stats.Calls++
-	r.stats.BytesMarshaled += uint64(len(buf))
+	r.calls.Add(1)
+	r.bytesMarshaled.Add(uint64(len(buf)))
 	// (3) deserialize on the hosted side (values alias buf, which stays
 	// alive until the call returns)
 	hosted := make([]Value, 0, len(args))
@@ -148,7 +154,7 @@ func (r *FuncRegistry) Call(def *FuncDef, args []Value) (Value, error) {
 	// (4) the result crosses back through a fresh buffer the caller
 	// owns — never the pooled one, since out may alias hosted args.
 	rbuf := marshalValue(make([]byte, 0, 16+len(out.B)), out)
-	r.stats.BytesMarshaled += uint64(len(rbuf))
+	r.bytesMarshaled.Add(uint64(len(rbuf)))
 	res, _, err := unmarshalValue(rbuf)
 	*bufp = buf
 	boundaryPool.Put(bufp)

@@ -243,6 +243,22 @@ func (bp *BufferPool) DropCleanBuffers() error {
 // Capacity returns the pool size in frames.
 func (bp *BufferPool) Capacity() int { return bp.cap }
 
+// PinnedFrames returns the number of frames with a nonzero pin count.
+// A quiesced pool must report zero; iterators and cursors that terminate
+// early (TOP n, bounded range scans) are required to unpin on Close, and
+// tests assert this invariant through here.
+func (bp *BufferPool) PinnedFrames() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	n := 0
+	for _, f := range bp.table {
+		if f.pins > 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // CachedPages returns the number of pages currently cached.
 func (bp *BufferPool) CachedPages() int {
 	bp.mu.Lock()

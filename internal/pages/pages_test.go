@@ -382,3 +382,44 @@ func TestIOModel(t *testing.T) {
 		t.Errorf("RandReadTime = %v", got)
 	}
 }
+
+func TestBufferPoolPinnedFrames(t *testing.T) {
+	disk := NewMemDisk()
+	bp := NewBufferPool(disk, 8)
+	if got := bp.PinnedFrames(); got != 0 {
+		t.Fatalf("fresh pool PinnedFrames = %d", got)
+	}
+	f1, err := bp.NewPage(TypeData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := bp.NewPage(TypeData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bp.PinnedFrames(); got != 2 {
+		t.Errorf("PinnedFrames after two NewPage = %d, want 2", got)
+	}
+	// A second Fetch of a pinned page raises its pin count but not the
+	// pinned-frame count.
+	f1b, err := bp.Fetch(f1.Page.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bp.PinnedFrames(); got != 2 {
+		t.Errorf("PinnedFrames after re-Fetch = %d, want 2", got)
+	}
+	bp.Unpin(f1b, false)
+	if got := bp.PinnedFrames(); got != 2 {
+		t.Errorf("PinnedFrames after one of two unpins = %d, want 2", got)
+	}
+	bp.Unpin(f1, false)
+	bp.Unpin(f2, true)
+	if got := bp.PinnedFrames(); got != 0 {
+		t.Errorf("PinnedFrames after unpinning all = %d, want 0", got)
+	}
+	// The invariant DropCleanBuffers enforces is exactly "no pins".
+	if err := bp.DropCleanBuffers(); err != nil {
+		t.Errorf("DropCleanBuffers on quiesced pool: %v", err)
+	}
+}

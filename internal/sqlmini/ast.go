@@ -10,12 +10,15 @@ import (
 //	SELECT [TOP n] item [, item ...]
 //	FROM table [WITH (NOLOCK)]
 //	[WHERE expr]
+//	[LIMIT n]
+//
+// LIMIT n is an accepted alias for TOP n; both set Top.
 type SelectStmt struct {
 	Items  []SelectItem
 	Table  string
 	NoLock bool
 	Where  Expr
-	Top    int64 // 0 = no TOP clause
+	Top    int64 // 0 = no TOP/LIMIT clause
 }
 
 // SelectItem is one projected expression with an optional alias.

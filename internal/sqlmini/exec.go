@@ -22,35 +22,145 @@ func (r *Result) Scalar() (engine.Value, error) {
 	return r.Rows[0][0], nil
 }
 
-// Run parses, plans and executes a SELECT against db.
+// Run parses, plans and executes a SELECT against db, materializing the
+// full result. It is a thin wrapper over the streaming pipeline; use
+// Query to consume rows incrementally.
 func Run(db *engine.DB, query string) (*Result, error) {
+	return RunWith(db, query, ExecOptions{})
+}
+
+// RunWith is Run with explicit execution options.
+func RunWith(db *engine.DB, query string, opts ExecOptions) (*Result, error) {
 	stmt, err := Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return Exec(db, stmt)
+	return ExecWith(db, stmt, opts)
 }
 
-// Exec plans and executes a parsed statement.
+// Exec plans and executes a parsed statement, materializing the result.
 func Exec(db *engine.DB, stmt *SelectStmt) (*Result, error) {
+	return ExecWith(db, stmt, ExecOptions{})
+}
+
+// ExecWith is Exec with explicit execution options.
+func ExecWith(db *engine.DB, stmt *SelectStmt, opts ExecOptions) (*Result, error) {
+	rows, err := StreamWith(db, stmt, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	res := &Result{Columns: rows.Columns()}
+	for rows.Next() {
+		res.Rows = append(res.Rows, rows.Row())
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Query parses and executes a SELECT, returning a streaming row cursor.
+// The caller must Close it (early termination releases pinned pages).
+func Query(db *engine.DB, query string) (*Rows, error) {
+	return QueryWith(db, query, ExecOptions{})
+}
+
+// QueryWith is Query with explicit execution options.
+func QueryWith(db *engine.DB, query string, opts ExecOptions) (*Rows, error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return StreamWith(db, stmt, opts)
+}
+
+// StreamWith plans a parsed statement and opens the operator pipeline,
+// returning a streaming row cursor over it.
+func StreamWith(db *engine.DB, stmt *SelectStmt, opts ExecOptions) (*Rows, error) {
 	tbl, err := db.Table(stmt.Table)
 	if err != nil {
 		return nil, err
 	}
-	pl, err := plan(db, tbl, stmt)
+	pl, err := buildPipeline(db, tbl, stmt, opts)
 	if err != nil {
 		return nil, err
 	}
-	return pl.run(tbl)
+	if err := pl.root.open(); err != nil {
+		pl.root.close()
+		return nil, err
+	}
+	return &Rows{columns: pl.columns, root: pl.root}, nil
+}
+
+// Rows streams query results one row at a time:
+//
+//	rows, err := sqlmini.Query(db, "SELECT TOP 5 id, v1 FROM t")
+//	defer rows.Close()
+//	for rows.Next() {
+//	    row := rows.Row()
+//	}
+//	err = rows.Err()
+//
+// Rows are materialized as they are yielded: a slice returned by Row
+// remains valid after further Next calls and after Close.
+type Rows struct {
+	columns []string
+	root    operator
+	cur     []engine.Value
+	err     error
+	closed  bool
+}
+
+// Columns returns the output column names.
+func (r *Rows) Columns() []string { return r.columns }
+
+// Next advances to the next row, returning false at the end of the
+// result set or on error (check Err).
+func (r *Rows) Next() bool {
+	if r.err != nil || r.closed {
+		return false
+	}
+	ctx, err := r.root.next()
+	if err != nil {
+		r.err = err
+		return false
+	}
+	if ctx == nil {
+		return false
+	}
+	r.cur = ctx.out
+	return true
+}
+
+// Row returns the current row. The slice is freshly materialized per row
+// and safe to retain.
+func (r *Rows) Row() []engine.Value { return r.cur }
+
+// Err returns the first error encountered while streaming.
+func (r *Rows) Err() error { return r.err }
+
+// Close tears down the pipeline, releasing any pinned pages. Safe to
+// call more than once.
+func (r *Rows) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	return r.root.close()
 }
 
 // ---- plan-time compilation -------------------------------------------
 
-// rowCtx carries per-row state during evaluation.
+// rowCtx carries per-row state through the operator pipeline: the
+// current key and row view below the projection, aggregate results above
+// the aggregate operator, and the materialized output row once
+// projected.
 type rowCtx struct {
 	key     int64
 	row     *engine.RowView
-	aggVals []engine.Value // filled for the final pass of aggregate plans
+	aggVals []engine.Value // filled by the aggregate operators
+	out     []engine.Value // filled by projectOp; safe to retain
 }
 
 // compiled is an executable expression.
@@ -324,6 +434,22 @@ func (a *accumulator) add(ctx *rowCtx) error {
 	return nil
 }
 
+// merge folds another accumulator's partial state into a. The parallel
+// aggregate scan merges per-worker partials in partition order.
+func (a *accumulator) merge(b *accumulator) {
+	a.count += b.count
+	a.sum += b.sum
+	if b.any {
+		if !a.any || b.min < a.min {
+			a.min = b.min
+		}
+		if !a.any || b.max > a.max {
+			a.max = b.max
+		}
+		a.any = true
+	}
+}
+
 func (a *accumulator) result() engine.Value {
 	switch a.kind {
 	case AggCount:
@@ -352,16 +478,7 @@ func (a *accumulator) result() engine.Value {
 	return engine.Null
 }
 
-// ---- planning and execution --------------------------------------------
-
-type queryPlan struct {
-	items     []compiled
-	columns   []string
-	where     compiled
-	accs      []*accumulator
-	aggregate bool
-	top       int64
-}
+// ---- expression compilation ---------------------------------------------
 
 // compileCtx carries plan-time state; aggregate arguments register
 // accumulators here.
@@ -369,41 +486,6 @@ type compileCtx struct {
 	db     *engine.DB
 	schema *engine.Schema
 	accs   []*accumulator
-}
-
-func plan(db *engine.DB, tbl *engine.Table, stmt *SelectStmt) (*queryPlan, error) {
-	cc := &compileCtx{db: db, schema: tbl.Schema()}
-	pl := &queryPlan{top: stmt.Top}
-	for _, it := range stmt.Items {
-		pl.aggregate = pl.aggregate || hasAggregate(it.Expr)
-	}
-	for i, it := range stmt.Items {
-		c, err := cc.compile(it.Expr, pl.aggregate)
-		if err != nil {
-			return nil, err
-		}
-		pl.items = append(pl.items, c)
-		name := it.Alias
-		if name == "" {
-			name = ExprString(it.Expr)
-			if len(name) > 40 {
-				name = fmt.Sprintf("col%d", i+1)
-			}
-		}
-		pl.columns = append(pl.columns, name)
-	}
-	if stmt.Where != nil {
-		if hasAggregate(stmt.Where) {
-			return nil, fmt.Errorf("sql: aggregates are not allowed in WHERE")
-		}
-		w, err := cc.compile(stmt.Where, false)
-		if err != nil {
-			return nil, err
-		}
-		pl.where = w
-	}
-	pl.accs = cc.accs
-	return pl, nil
 }
 
 // compile turns an AST node into an executable expression. Inside an
@@ -424,6 +506,12 @@ func (cc *compileCtx) compile(e Expr, inAggQuery bool) (compiled, error) {
 		idx := cc.schema.ColIndex(n.Name)
 		if idx < 0 {
 			return nil, fmt.Errorf("%w: %q", engine.ErrNoColumn, n.Name)
+		}
+		if inAggQuery {
+			// An aggregate query emits one row with no underlying scan row;
+			// a bare column there has no value (T-SQL rejects this too, as
+			// there is no GROUP BY in the dialect).
+			return nil, fmt.Errorf("sql: column %q must appear inside an aggregate function", n.Name)
 		}
 		return &cCol{idx: idx}, nil
 	case *Star:
@@ -474,81 +562,4 @@ func (cc *compileCtx) compile(e Expr, inAggQuery bool) (compiled, error) {
 		return &cUnary{op: n.Op, x: x}, nil
 	}
 	return nil, fmt.Errorf("sql: unsupported expression %T", e)
-}
-
-func (pl *queryPlan) run(tbl *engine.Table) (*Result, error) {
-	res := &Result{Columns: pl.columns}
-	if pl.aggregate {
-		ctx := &rowCtx{}
-		err := tbl.Scan(func(key int64, row *engine.RowView) (bool, error) {
-			ctx.key, ctx.row = key, row
-			if pl.where != nil {
-				ok, err := pl.where.eval(ctx)
-				if err != nil {
-					return false, err
-				}
-				if !truthy(ok) {
-					return true, nil
-				}
-			}
-			for _, a := range pl.accs {
-				if err := a.add(ctx); err != nil {
-					return false, err
-				}
-			}
-			return true, nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		ctx.aggVals = make([]engine.Value, len(pl.accs))
-		for i, a := range pl.accs {
-			ctx.aggVals[i] = a.result()
-		}
-		out := make([]engine.Value, len(pl.items))
-		for i, it := range pl.items {
-			v, err := it.eval(ctx)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = v
-		}
-		res.Rows = append(res.Rows, out)
-		return res, nil
-	}
-	// Projection scan.
-	ctx := &rowCtx{}
-	err := tbl.Scan(func(key int64, row *engine.RowView) (bool, error) {
-		ctx.key, ctx.row = key, row
-		if pl.where != nil {
-			ok, err := pl.where.eval(ctx)
-			if err != nil {
-				return false, err
-			}
-			if !truthy(ok) {
-				return true, nil
-			}
-		}
-		out := make([]engine.Value, len(pl.items))
-		for i, it := range pl.items {
-			v, err := it.eval(ctx)
-			if err != nil {
-				return false, err
-			}
-			// Binary values alias the pinned page; copy to materialize.
-			if v.Kind == engine.ColVarBinary || v.Kind == engine.ColVarBinaryMax {
-				v.B = append([]byte(nil), v.B...)
-			}
-			out[i] = v
-		}
-		res.Rows = append(res.Rows, out)
-		if pl.top > 0 && int64(len(res.Rows)) >= pl.top {
-			return false, nil
-		}
-		return true, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
 }

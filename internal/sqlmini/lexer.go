@@ -20,14 +20,14 @@ const (
 	tokString
 	tokPunct   // ( ) , . *
 	tokOp      // + - / = <> < <= > >=
-	tokKeyword // SELECT FROM WHERE WITH AS AND OR NOT TOP NULL
+	tokKeyword // SELECT FROM WHERE WITH AS AND OR NOT TOP LIMIT NULL
 )
 
 var keywords = map[string]bool{
 	"SELECT": true, "FROM": true, "WHERE": true, "WITH": true,
 	"AS": true, "AND": true, "OR": true, "NOT": true, "TOP": true,
 	"NULL": true, "NOLOCK": true, "COUNT": true, "SUM": true,
-	"AVG": true, "MIN": true, "MAX": true,
+	"AVG": true, "MIN": true, "MAX": true, "LIMIT": true,
 }
 
 type token struct {

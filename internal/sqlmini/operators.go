@@ -1,0 +1,371 @@
+package sqlmini
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"sqlarray/internal/engine"
+)
+
+// This file implements the Volcano-style executor: a tree of operators,
+// each exposing open/next/close, streaming one row at a time from the
+// clustered index up through filters, aggregation and projection. Nothing
+// below the projection materializes — a row is a view over the pinned
+// leaf page until projectOp copies the values the query asked for.
+//
+// The operator protocol:
+//
+//   - open acquires resources (cursors); it is called once, top-down.
+//   - next returns the next row, or (nil, nil) when the stream is done.
+//     The returned rowCtx is owned by the operator and valid only until
+//     the following next or close.
+//   - close releases resources; it must be idempotent, because limitOp
+//     closes its child early to release page pins the moment TOP n is
+//     satisfied, and the pipeline is closed again as a whole.
+//
+// To add an operator (ORDER BY, GROUP BY, ...): implement the interface,
+// place it in the tree inside buildPipeline, and nothing else changes.
+type operator interface {
+	open() error
+	next() (*rowCtx, error)
+	close() error
+}
+
+// ---- scan ---------------------------------------------------------------
+
+// scanOp streams rows from the clustered B+tree in key order, restricted
+// to the key range [lo, hi] the planner pushed down. An unrestricted scan
+// uses the full int64 range.
+type scanOp struct {
+	tbl    *engine.Table
+	lo, hi int64
+	cur    *engine.Cursor
+	ctx    rowCtx
+}
+
+func (s *scanOp) open() error {
+	cur, err := s.tbl.CursorRange(s.lo, s.hi)
+	if err != nil {
+		return err
+	}
+	s.cur = cur
+	return nil
+}
+
+func (s *scanOp) next() (*rowCtx, error) {
+	if s.cur == nil {
+		return nil, nil
+	}
+	if !s.cur.Next() {
+		return nil, s.cur.Err()
+	}
+	s.ctx.key = s.cur.Key()
+	s.ctx.row = s.cur.Row()
+	return &s.ctx, nil
+}
+
+func (s *scanOp) close() error {
+	if s.cur != nil {
+		s.cur.Close()
+	}
+	return nil
+}
+
+// ---- filter -------------------------------------------------------------
+
+// filterOp passes through rows for which pred is true. The planner hands
+// it the residual predicate — key-range conjuncts have already been
+// pushed into the scan below.
+type filterOp struct {
+	child operator
+	pred  compiled
+}
+
+func (f *filterOp) open() error { return f.child.open() }
+
+func (f *filterOp) next() (*rowCtx, error) {
+	for {
+		ctx, err := f.child.next()
+		if ctx == nil || err != nil {
+			return nil, err
+		}
+		ok, err := f.pred.eval(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if truthy(ok) {
+			return ctx, nil
+		}
+	}
+}
+
+func (f *filterOp) close() error { return f.child.close() }
+
+// ---- project ------------------------------------------------------------
+
+// projectOp evaluates the SELECT items and materializes the output row.
+// Binary values alias the pinned page below; the copy here is what makes
+// a yielded row safe to retain after the cursor moves on.
+type projectOp struct {
+	child operator
+	items []compiled
+}
+
+func (p *projectOp) open() error { return p.child.open() }
+
+func (p *projectOp) next() (*rowCtx, error) {
+	ctx, err := p.child.next()
+	if ctx == nil || err != nil {
+		return nil, err
+	}
+	out := make([]engine.Value, len(p.items))
+	for i, it := range p.items {
+		v, err := it.eval(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if v.Kind == engine.ColVarBinary || v.Kind == engine.ColVarBinaryMax {
+			v.B = append([]byte(nil), v.B...)
+		}
+		out[i] = v
+	}
+	ctx.out = out
+	return ctx, nil
+}
+
+func (p *projectOp) close() error { return p.child.close() }
+
+// ---- aggregate ----------------------------------------------------------
+
+// aggregateOp drains its child into the accumulators and then emits a
+// single row carrying the aggregate results. It is the one pipeline
+// breaker in the operator set (as in any engine: aggregation cannot
+// stream its input away).
+type aggregateOp struct {
+	child operator
+	accs  []*accumulator
+	done  bool
+	ctx   rowCtx
+}
+
+func (a *aggregateOp) open() error { return a.child.open() }
+
+func (a *aggregateOp) next() (*rowCtx, error) {
+	if a.done {
+		return nil, nil
+	}
+	a.done = true
+	for {
+		ctx, err := a.child.next()
+		if err != nil {
+			return nil, err
+		}
+		if ctx == nil {
+			break
+		}
+		for _, acc := range a.accs {
+			if err := acc.add(ctx); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Release the scan before emitting: the aggregate row references no
+	// page memory.
+	if err := a.child.close(); err != nil {
+		return nil, err
+	}
+	a.ctx.aggVals = make([]engine.Value, len(a.accs))
+	for i, acc := range a.accs {
+		a.ctx.aggVals[i] = acc.result()
+	}
+	return &a.ctx, nil
+}
+
+func (a *aggregateOp) close() error { return a.child.close() }
+
+// ---- parallel aggregate scan -------------------------------------------
+
+// workerState is one worker's private compiled state: its residual
+// predicate and its accumulator set (index-aligned with the main plan's
+// accumulators, because both come from compiling the same AST).
+type workerState struct {
+	pred compiled
+	accs []*accumulator
+}
+
+// parallelAggOp fuses scan + filter + aggregate across goroutines: the
+// key space [lo, hi] is partitioned into contiguous ranges, each worker
+// runs its own cursor, predicate and accumulators over one range, and the
+// partial accumulators are merged in partition order. Compiled
+// expressions are stateful (UDF argument buffers), so every worker
+// compiles its own copies via newWorker.
+//
+// Floating-point SUM/AVG associate differently than a serial scan when
+// partials are merged; results are deterministic for a fixed worker
+// count.
+//
+// Partitioning is by key value, which balances well for the dense
+// sequential ids this engine's workloads use but degenerates under
+// heavily skewed key distributions (one worker owns the dense region);
+// partitioning by leaf pages would fix that and is a planned follow-up.
+type parallelAggOp struct {
+	tbl       *engine.Table
+	lo, hi    int64 // key range to aggregate over (inclusive, lo <= hi)
+	workers   int
+	newWorker func() (workerState, error)
+	accs      []*accumulator // merge target (the main plan's accumulators)
+	done      bool
+	ctx       rowCtx
+}
+
+func (p *parallelAggOp) open() error { return nil }
+
+func (p *parallelAggOp) next() (*rowCtx, error) {
+	if p.done {
+		return nil, nil
+	}
+	p.done = true
+
+	w := p.workers
+	span := uint64(p.hi) - uint64(p.lo) // key count - 1; wrap-safe
+	if span != ^uint64(0) && span+1 < uint64(w) {
+		w = int(span + 1)
+	}
+	// Ceiling division so the remainder spreads across workers instead of
+	// all landing on the last one.
+	step := span / uint64(w)
+	if span%uint64(w) != 0 {
+		step++
+	}
+	if step == 0 {
+		step = 1
+	}
+
+	states := make([]workerState, w)
+	for i := range states {
+		st, err := p.newWorker()
+		if err != nil {
+			return nil, err
+		}
+		states[i] = st
+	}
+
+	var (
+		wg       sync.WaitGroup
+		stop     atomic.Bool
+		errs     = make([]error, w)
+		firstErr error
+	)
+	for i := 0; i < w; i++ {
+		// Partition i covers key offsets [i*step, i*step+step-1] from lo,
+		// clamped to the span; the last worker always ends at hi.
+		offLo := step * uint64(i)
+		if offLo > span {
+			continue // earlier partitions already cover everything
+		}
+		offHi := offLo + step - 1
+		if offHi < offLo || offHi > span || i == w-1 {
+			offHi = span
+		}
+		start := int64(uint64(p.lo) + offLo)
+		end := int64(uint64(p.lo) + offHi)
+		wg.Add(1)
+		go func(i int, lo, hi int64) {
+			defer wg.Done()
+			errs[i] = p.scanPartition(&states[i], lo, hi, &stop)
+		}(i, start, end)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for _, st := range states {
+		for i, acc := range st.accs {
+			p.accs[i].merge(acc)
+		}
+	}
+	p.ctx.aggVals = make([]engine.Value, len(p.accs))
+	for i, acc := range p.accs {
+		p.ctx.aggVals[i] = acc.result()
+	}
+	return &p.ctx, nil
+}
+
+// scanPartition runs one worker's scan-filter-accumulate loop over
+// [lo, hi]. stop is a cooperative abort flag set when any worker fails.
+func (p *parallelAggOp) scanPartition(st *workerState, lo, hi int64, stop *atomic.Bool) error {
+	cur, err := p.tbl.CursorRange(lo, hi)
+	if err != nil {
+		stop.Store(true)
+		return err
+	}
+	defer cur.Close()
+	var ctx rowCtx
+	for cur.Next() {
+		if stop.Load() {
+			return nil
+		}
+		ctx.key, ctx.row = cur.Key(), cur.Row()
+		if st.pred != nil {
+			ok, err := st.pred.eval(&ctx)
+			if err != nil {
+				stop.Store(true)
+				return err
+			}
+			if !truthy(ok) {
+				continue
+			}
+		}
+		for _, acc := range st.accs {
+			if err := acc.add(&ctx); err != nil {
+				stop.Store(true)
+				return err
+			}
+		}
+	}
+	if err := cur.Err(); err != nil {
+		stop.Store(true)
+		return err
+	}
+	return nil
+}
+
+func (p *parallelAggOp) close() error { return nil }
+
+// ---- limit --------------------------------------------------------------
+
+// limitOp stops the pipeline after n rows (TOP n / LIMIT n). On hitting
+// the limit it closes its child immediately so the scan's page pins are
+// released without waiting for the consumer to finish with the Rows.
+type limitOp struct {
+	child operator
+	n     int64
+	seen  int64
+}
+
+func (l *limitOp) open() error { return l.child.open() }
+
+func (l *limitOp) next() (*rowCtx, error) {
+	if l.seen >= l.n {
+		return nil, nil
+	}
+	ctx, err := l.child.next()
+	if ctx == nil || err != nil {
+		return nil, err
+	}
+	l.seen++
+	if l.seen >= l.n {
+		if err := l.child.close(); err != nil {
+			return nil, err
+		}
+	}
+	return ctx, nil
+}
+
+func (l *limitOp) close() error { return l.child.close() }

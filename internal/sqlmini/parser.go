@@ -119,6 +119,22 @@ func (p *parser) selectStmt() (*SelectStmt, error) {
 		}
 		stmt.Where = e
 	}
+	// LIMIT n is accepted as a trailing alias for TOP n.
+	if p.acceptKeyword("LIMIT") {
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, errAt(t.pos, "LIMIT wants a number, got %q", t.text)
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil || n <= 0 {
+			return nil, errAt(t.pos, "bad LIMIT count %q", t.text)
+		}
+		if stmt.Top > 0 {
+			return nil, errAt(t.pos, "LIMIT cannot be combined with TOP")
+		}
+		p.next()
+		stmt.Top = n
+	}
 	return stmt, nil
 }
 

@@ -1,0 +1,537 @@
+package sqlmini
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"sqlarray/internal/engine"
+)
+
+// referenceRun is the pre-pipeline executor (materialize-everything full
+// scan via Table.Scan, no pushdown, no parallelism), kept here as the
+// golden oracle for the streaming executor.
+func referenceRun(db *engine.DB, query string) (*Result, error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := db.Table(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := compileStmt(db, tbl, stmt, stmt.Where)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: cs.columns}
+	if cs.aggregate {
+		ctx := &rowCtx{}
+		err := tbl.Scan(func(key int64, row *engine.RowView) (bool, error) {
+			ctx.key, ctx.row = key, row
+			if cs.where != nil {
+				ok, err := cs.where.eval(ctx)
+				if err != nil {
+					return false, err
+				}
+				if !truthy(ok) {
+					return true, nil
+				}
+			}
+			for _, a := range cs.accs {
+				if err := a.add(ctx); err != nil {
+					return false, err
+				}
+			}
+			return true, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		ctx.aggVals = make([]engine.Value, len(cs.accs))
+		for i, a := range cs.accs {
+			ctx.aggVals[i] = a.result()
+		}
+		out := make([]engine.Value, len(cs.items))
+		for i, it := range cs.items {
+			v, err := it.eval(ctx)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		res.Rows = append(res.Rows, out)
+		return res, nil
+	}
+	ctx := &rowCtx{}
+	err = tbl.Scan(func(key int64, row *engine.RowView) (bool, error) {
+		ctx.key, ctx.row = key, row
+		if cs.where != nil {
+			ok, err := cs.where.eval(ctx)
+			if err != nil {
+				return false, err
+			}
+			if !truthy(ok) {
+				return true, nil
+			}
+		}
+		out := make([]engine.Value, len(cs.items))
+		for i, it := range cs.items {
+			v, err := it.eval(ctx)
+			if err != nil {
+				return false, err
+			}
+			if v.Kind == engine.ColVarBinary || v.Kind == engine.ColVarBinaryMax {
+				v.B = append([]byte(nil), v.B...)
+			}
+			out[i] = v
+		}
+		res.Rows = append(res.Rows, out)
+		if stmt.Top > 0 && int64(len(res.Rows)) >= stmt.Top {
+			return false, nil
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func valueEq(a, b engine.Value) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case 0:
+		return true
+	case engine.ColInt64:
+		return a.I == b.I
+	case engine.ColFloat64:
+		return a.F == b.F || (a.F != a.F && b.F != b.F) // NaN == NaN here
+	case engine.ColVarBinary, engine.ColVarBinaryMax:
+		return bytes.Equal(a.B, b.B)
+	}
+	return false
+}
+
+func resultEq(a, b *Result) string {
+	if strings.Join(a.Columns, "|") != strings.Join(b.Columns, "|") {
+		return fmt.Sprintf("columns %v vs %v", a.Columns, b.Columns)
+	}
+	if len(a.Rows) != len(b.Rows) {
+		return fmt.Sprintf("%d rows vs %d rows", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		if len(a.Rows[i]) != len(b.Rows[i]) {
+			return fmt.Sprintf("row %d width %d vs %d", i, len(a.Rows[i]), len(b.Rows[i]))
+		}
+		for j := range a.Rows[i] {
+			if !valueEq(a.Rows[i][j], b.Rows[i][j]) {
+				return fmt.Sprintf("row %d col %d: %v vs %v", i, j, a.Rows[i][j], b.Rows[i][j])
+			}
+		}
+	}
+	return ""
+}
+
+// goldenQueries covers every query shape the package tests exercise,
+// plus the sargable forms the planner pushes down.
+var goldenQueries = []string{
+	"SELECT COUNT(*) FROM Tscalar",
+	"SELECT COUNT(*) FROM Tscalar WITH (NOLOCK)",
+	"SELECT SUM(v1) FROM Tscalar WITH (NOLOCK)",
+	"SELECT AVG(v1) FROM Tscalar",
+	"SELECT MIN(v2) FROM Tscalar",
+	"SELECT MAX(v2) FROM Tscalar",
+	"SELECT COUNT(v1) FROM Tscalar",
+	"SELECT SUM(v1) / COUNT(*) FROM Tscalar",
+	"SELECT SUM(v1 + v2) FROM Tscalar",
+	"SELECT 2 * SUM(v1) FROM Tscalar",
+	"SELECT COUNT(*), SUM(v1), MIN(v1), MAX(v1) FROM Tscalar",
+	"SELECT COUNT(*) FROM Tscalar WHERE v1 >= 50",
+	"SELECT COUNT(*) FROM Tscalar WHERE v1 >= 10 AND v1 < 20",
+	"SELECT COUNT(*) FROM Tscalar WHERE v1 = 5 OR v1 = 7",
+	"SELECT COUNT(*) FROM Tscalar WHERE NOT v1 < 90",
+	"SELECT COUNT(*) FROM Tscalar WHERE v1 <> 0",
+	"SELECT SUM(v1) FROM Tscalar WHERE id % 2 = 0",
+	"SELECT id, v1 * 2 AS doubled FROM Tscalar WHERE id < 5",
+	"SELECT TOP 7 id FROM Tscalar",
+	"SELECT SUM(dbo.EmptyFunction(b, 0)) FROM Tscalar WITH (NOLOCK)",
+	"SELECT SUM(dbo.Twice(v1)) FROM Tscalar",
+	"SELECT COUNT(*) n FROM Tscalar",
+	"SELECT TOP 1 -v1 + 3 * 2 FROM Tscalar WHERE id = 1",
+	"SELECT TOP 1 (v1 + 3) * 2 FROM Tscalar WHERE id = 1",
+	"SELECT TOP 1 10 - 4 - 3 FROM Tscalar",
+	"SELECT TOP 1 7 / 2 FROM Tscalar",
+	// Sargable key predicates, in every operator and orientation.
+	"SELECT v1 FROM Tscalar WHERE id = 42",
+	"SELECT v1 FROM Tscalar WHERE id >= 90",
+	"SELECT id FROM Tscalar WHERE id > 10 AND id <= 15",
+	"SELECT id FROM Tscalar WHERE 95 <= id",
+	"SELECT id FROM Tscalar WHERE 42 = id",
+	"SELECT id FROM Tscalar WHERE id < 4",
+	"SELECT id, v1 FROM Tscalar WHERE id >= 20 AND id < 30 AND v1 <> 25",
+	"SELECT COUNT(*) FROM Tscalar WHERE id >= 10 AND id <= 20",
+	"SELECT SUM(v1) FROM Tscalar WHERE id >= 10 AND id <= 20 AND id % 2 = 0",
+	"SELECT COUNT(*) FROM Tscalar WHERE id = 5 AND id = 7", // contradiction
+	"SELECT id FROM Tscalar WHERE id > 10.5 AND id < 13.5", // fractional bounds
+	"SELECT id FROM Tscalar WHERE id = 10.5",               // fractional point: empty
+	"SELECT id FROM Tscalar WHERE id >= -3",
+	"SELECT id FROM Tscalar WHERE -1 >= id OR id >= 98", // OR: not sargable
+	"SELECT b FROM Tscalar WHERE id = 3",                // binary materialization
+	"SELECT TOP 3 id FROM Tscalar WHERE id >= 50",
+	"SELECT id FROM Tscalar LIMIT 4",
+	"SELECT id FROM Tscalar WHERE id >= 95 LIMIT 10",
+}
+
+// TestGoldenEquivalence asserts the streaming pipeline (materialized via
+// Run, and streamed via Query) matches the reference full-scan executor
+// on every covered query shape.
+func TestGoldenEquivalence(t *testing.T) {
+	db := testDB(t)
+	for _, q := range goldenQueries {
+		want, err := referenceRun(db, q)
+		if err != nil {
+			t.Fatalf("reference(%q): %v", q, err)
+		}
+		got, err := Run(db, q)
+		if err != nil {
+			t.Fatalf("Run(%q): %v", q, err)
+		}
+		if diff := resultEq(want, got); diff != "" {
+			t.Errorf("Run(%q): %s", q, diff)
+		}
+		rows, err := Query(db, q)
+		if err != nil {
+			t.Fatalf("Query(%q): %v", q, err)
+		}
+		streamed := &Result{Columns: rows.Columns()}
+		for rows.Next() {
+			streamed.Rows = append(streamed.Rows, rows.Row())
+		}
+		if err := rows.Err(); err != nil {
+			t.Fatalf("Query(%q) stream: %v", q, err)
+		}
+		rows.Close()
+		if diff := resultEq(want, streamed); diff != "" {
+			t.Errorf("Query(%q): %s", q, diff)
+		}
+	}
+	if got := db.Pool().PinnedFrames(); got != 0 {
+		t.Errorf("PinnedFrames after golden sweep = %d", got)
+	}
+}
+
+// wideDB builds a table large enough to span many leaf pages: n rows of
+// (id, v1, v2, pad) where pad is a 100-byte filler.
+func wideDB(t testing.TB, n int64) *engine.DB {
+	t.Helper()
+	db := engine.NewMemDB()
+	s, err := engine.NewSchema(
+		engine.Column{Name: "id", Type: engine.ColInt64},
+		engine.Column{Name: "v1", Type: engine.ColFloat64},
+		engine.Column{Name: "v2", Type: engine.ColFloat64},
+		engine.Column{Name: "pad", Type: engine.ColVarBinary},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.CreateTable("T", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad := make([]byte, 100)
+	for i := int64(0); i < n; i++ {
+		err := tbl.Insert([]engine.Value{
+			engine.IntValue(i),
+			engine.FloatValue(float64(i)),
+			engine.FloatValue(float64(i % 97)),
+			engine.BinaryValue(pad),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// TestKeyPushdownTouchesFewPages is the acceptance check: point lookups,
+// key ranges and TOP n must not read the whole clustered index. Pages
+// touched are counted through the buffer pool's LogicalReads.
+func TestKeyPushdownTouchesFewPages(t *testing.T) {
+	const rows = 5000
+	db := wideDB(t, rows)
+	tbl, err := db.Table("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := tbl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LeafPages < 20 {
+		t.Fatalf("table too small for the test: %d leaf pages", stats.LeafPages)
+	}
+	pool := db.Pool()
+
+	measure := func(q string, wantRows int) uint64 {
+		t.Helper()
+		pool.ResetStats()
+		res, err := Run(db, q)
+		if err != nil {
+			t.Fatalf("Run(%q): %v", q, err)
+		}
+		if len(res.Rows) != wantRows {
+			t.Fatalf("Run(%q) = %d rows, want %d", q, len(res.Rows), wantRows)
+		}
+		return pool.Stats().LogicalReads
+	}
+
+	full := measure("SELECT COUNT(*) FROM T", 1)
+	if full < uint64(stats.LeafPages) {
+		t.Fatalf("full scan read %d pages, expected >= %d leaves", full, stats.LeafPages)
+	}
+
+	// A point lookup descends the tree: height + a couple of pages, not
+	// thousands.
+	point := measure("SELECT v1 FROM T WHERE id = 4321", 1)
+	if point > uint64(stats.TreeHeight)+2 {
+		t.Errorf("point lookup read %d pages (height %d, %d leaves) — not pushed down",
+			point, stats.TreeHeight, stats.LeafPages)
+	}
+
+	// TOP n stops after the first leaf or two.
+	top := measure("SELECT TOP 3 id FROM T", 3)
+	if top > uint64(stats.TreeHeight)+2 {
+		t.Errorf("TOP 3 read %d pages — did not terminate early", top)
+	}
+
+	// A narrow range touches the descent plus the pages the range spans.
+	rng := measure("SELECT COUNT(*) FROM T WHERE id >= 1000 AND id < 1100", 1)
+	if rng > uint64(stats.TreeHeight)+5 {
+		t.Errorf("range scan read %d pages — not pushed down", rng)
+	}
+	if rng >= full/4 {
+		t.Errorf("range scan read %d pages vs %d for full scan", rng, full)
+	}
+
+	if got := pool.PinnedFrames(); got != 0 {
+		t.Errorf("PinnedFrames = %d", got)
+	}
+}
+
+func TestStreamingEarlyCloseReleasesPins(t *testing.T) {
+	db := wideDB(t, 3000)
+	rows, err := Query(db, "SELECT id, v1 FROM T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if !rows.Next() {
+			t.Fatal("short stream")
+		}
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rows.Next() {
+		t.Error("Next after Close must return false")
+	}
+	if got := db.Pool().PinnedFrames(); got != 0 {
+		t.Errorf("PinnedFrames after abandoned stream = %d, want 0", got)
+	}
+	if err := db.DropCleanBuffers(); err != nil {
+		t.Errorf("DropCleanBuffers after abandoned stream: %v", err)
+	}
+
+	// TOP n satisfied: pins are released even before Close is called.
+	rows, err = Query(db, "SELECT TOP 2 id FROM T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rows.Next() {
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Pool().PinnedFrames(); got != 0 {
+		t.Errorf("PinnedFrames after TOP-n drain (no Close yet) = %d, want 0", got)
+	}
+	rows.Close()
+}
+
+// TestParallelAggregateMatchesSerial forces the parallel aggregate scan
+// and checks it against the serial pipeline and the reference executor.
+// v1 holds integer-valued floats, so SUM is exact under any association.
+func TestParallelAggregateMatchesSerial(t *testing.T) {
+	db := wideDB(t, 5000)
+	db.Funcs().Register("dbo.Twice", 1, func(args []engine.Value) (engine.Value, error) {
+		f, err := args[0].AsFloat()
+		if err != nil {
+			return engine.Null, err
+		}
+		return engine.FloatValue(2 * f), nil
+	})
+	queries := []string{
+		"SELECT COUNT(*) FROM T",
+		"SELECT SUM(v1) FROM T",
+		"SELECT AVG(v1) FROM T",
+		"SELECT MIN(v1), MAX(v1) FROM T",
+		"SELECT COUNT(*), SUM(v1), MIN(v2), MAX(v2) FROM T",
+		"SELECT SUM(v1) FROM T WHERE v2 >= 50",
+		"SELECT SUM(v1) FROM T WHERE id >= 1000 AND id < 4000",
+		"SELECT SUM(v1) FROM T WHERE id >= 1000 AND id < 4000 AND id % 2 = 0",
+		"SELECT SUM(dbo.Twice(v1)) FROM T",
+		"SELECT SUM(v1) FROM T WHERE id = 17",
+		"SELECT SUM(v1) FROM T WHERE id = 5 AND id = 7", // empty range
+	}
+	serial := ExecOptions{Parallelism: 1}
+	parallel := ExecOptions{Parallelism: 4, ParallelThreshold: 1}
+	for _, q := range queries {
+		want, err := RunWith(db, q, serial)
+		if err != nil {
+			t.Fatalf("serial %q: %v", q, err)
+		}
+		got, err := RunWith(db, q, parallel)
+		if err != nil {
+			t.Fatalf("parallel %q: %v", q, err)
+		}
+		if diff := resultEq(want, got); diff != "" {
+			t.Errorf("parallel %q: %s", q, diff)
+		}
+		ref, err := referenceRun(db, q)
+		if err != nil {
+			t.Fatalf("reference %q: %v", q, err)
+		}
+		if diff := resultEq(ref, got); diff != "" {
+			t.Errorf("parallel vs reference %q: %s", q, diff)
+		}
+	}
+	if got := db.Pool().PinnedFrames(); got != 0 {
+		t.Errorf("PinnedFrames after parallel aggregates = %d", got)
+	}
+}
+
+func TestParallelAggregateWorkerErrorPropagates(t *testing.T) {
+	db := wideDB(t, 4000)
+	db.Funcs().Register("dbo.FailAt", 1, func(args []engine.Value) (engine.Value, error) {
+		i, err := args[0].AsInt()
+		if err != nil {
+			return engine.Null, err
+		}
+		if i == 3777 {
+			return engine.Null, fmt.Errorf("boom at %d", i)
+		}
+		return engine.FloatValue(float64(i)), nil
+	})
+	opts := ExecOptions{Parallelism: 4, ParallelThreshold: 1}
+	_, err := RunWith(db, "SELECT SUM(dbo.FailAt(id)) FROM T", opts)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("worker error = %v, want boom", err)
+	}
+	if got := db.Pool().PinnedFrames(); got != 0 {
+		t.Errorf("PinnedFrames after failed parallel scan = %d", got)
+	}
+	if err := db.DropCleanBuffers(); err != nil {
+		t.Errorf("DropCleanBuffers after failed parallel scan: %v", err)
+	}
+}
+
+func TestParallelDecisionRespectsThreshold(t *testing.T) {
+	// Tiny table: even with Parallelism set, the threshold keeps it
+	// serial (exercised by asserting the result is still right and that
+	// UDF calls happen exactly once per row — worker compile would be
+	// fine too, but the plan must not misbehave either way).
+	db := testDB(t)
+	db.Funcs().ResetStats()
+	res, err := RunWith(db, "SELECT SUM(dbo.Twice(v1)) FROM Tscalar",
+		ExecOptions{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := res.Scalar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.F != 9900 {
+		t.Errorf("SUM(Twice(v1)) = %v", v)
+	}
+	if calls := db.Funcs().Stats().Calls; calls != 100 {
+		t.Errorf("UDF calls = %d, want one per row", calls)
+	}
+}
+
+func TestExtractKeyBounds(t *testing.T) {
+	schema, err := engine.NewSchema(
+		engine.Column{Name: "id", Type: engine.ColInt64},
+		engine.Column{Name: "x", Type: engine.ColFloat64},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		where       string
+		lo, hi      string // "" = unbounded
+		empty       bool
+		residualNil bool
+	}{
+		{"id = 5", "5", "5", false, true},
+		{"id >= 5", "5", "", false, true},
+		{"id > 5", "6", "", false, true},
+		{"id <= 5", "", "5", false, true},
+		{"id < 5", "", "4", false, true},
+		{"5 < id", "6", "", false, true},
+		{"5 >= id", "", "5", false, true},
+		{"id >= 2 AND id <= 8", "2", "8", false, true},
+		{"id >= 2 AND x > 0", "2", "", false, false},
+		{"id >= 8 AND id <= 2", "8", "2", true, true},
+		{"id = 2 AND id = 8", "8", "2", true, true},
+		{"id = 2 OR id = 8", "", "", false, false},
+		{"NOT id = 2", "", "", false, false},
+		{"id > 1.5", "2", "", false, true},
+		{"id < 1.5", "", "1", false, true},
+		{"id = 1.5", "", "", true, true},
+		{"id >= -3", "-3", "", false, true},
+		{"x > 3", "", "", false, false},
+		{"id + 0 > 3", "", "", false, false}, // not a bare column
+		// Past ±2^53 float compares lose integer exactness; pushdown must
+		// decline so the predicate behaves the same as its residual form.
+		{"id >= 9007199254740993", "", "", false, false},
+		{"id = 18000000000000000000", "", "", false, false},
+		{"id > -9007199254740995", "", "", false, false},
+	}
+	for _, c := range cases {
+		stmt, err := Parse("SELECT id FROM t WHERE " + c.where)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.where, err)
+		}
+		b, residual := extractKeyBounds(stmt.Where, &schema)
+		if c.empty != b.empty {
+			t.Errorf("%q: empty = %v, want %v", c.where, b.empty, c.empty)
+			continue
+		}
+		check := func(name, want string, has bool, got int64) {
+			t.Helper()
+			if want == "" {
+				if has {
+					t.Errorf("%q: unexpected %s bound %d", c.where, name, got)
+				}
+				return
+			}
+			if !has {
+				t.Errorf("%q: missing %s bound (want %s)", c.where, name, want)
+				return
+			}
+			if fmt.Sprint(got) != want {
+				t.Errorf("%q: %s = %d, want %s", c.where, name, got, want)
+			}
+		}
+		check("lo", c.lo, b.hasLo, b.lo)
+		check("hi", c.hi, b.hasHi, b.hi)
+		if c.residualNil != (residual == nil) {
+			t.Errorf("%q: residual = %v, want nil=%v", c.where, residual, c.residualNil)
+		}
+	}
+}

@@ -1,0 +1,382 @@
+package sqlmini
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"sqlarray/internal/engine"
+)
+
+// This file lowers a parsed SelectStmt into an operator pipeline:
+//
+//	SelectStmt --(sargable analysis)--> key range + residual predicate
+//	           --(compile)-----------> scan → filter → [aggregate] → project → limit
+//
+// Key-range pushdown: top-level AND conjuncts of the form
+//
+//	id >= k, id > k, id <= k, id < k, id = k        (and the flipped forms)
+//
+// where id is the clustered key column and k a numeric literal are
+// removed from the WHERE tree and become the scan's [lo, hi] bounds, so
+// point and range queries descend the B+tree instead of scanning it.
+
+// ExecOptions tunes pipeline execution. The zero value picks defaults.
+type ExecOptions struct {
+	// Parallelism caps the worker goroutines of a parallel aggregate
+	// scan. 0 means runtime.GOMAXPROCS(0); 1 disables parallelism.
+	Parallelism int
+	// ParallelThreshold is the minimum table row count before an
+	// aggregate scan goes parallel. 0 means the default (8192). Small
+	// scans are not worth the goroutine and partition setup.
+	ParallelThreshold int64
+}
+
+const defaultParallelThreshold = 8192
+
+func (o ExecOptions) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o ExecOptions) threshold() int64 {
+	if o.ParallelThreshold > 0 {
+		return o.ParallelThreshold
+	}
+	return defaultParallelThreshold
+}
+
+// keyBounds is the key range extracted from sargable WHERE conjuncts.
+// The zero value is the unbounded range.
+type keyBounds struct {
+	lo, hi       int64
+	hasLo, hasHi bool
+	empty        bool // provably no rows (contradictory bounds)
+}
+
+func unboundedKeys() keyBounds { return keyBounds{} }
+
+func (b keyBounds) loKey() int64 {
+	if b.hasLo {
+		return b.lo
+	}
+	return math.MinInt64
+}
+
+func (b keyBounds) hiKey() int64 {
+	if b.hasHi {
+		return b.hi
+	}
+	return math.MaxInt64
+}
+
+func (b *keyBounds) addLo(k int64) {
+	if !b.hasLo || k > b.lo {
+		b.lo, b.hasLo = k, true
+	}
+	b.check()
+}
+
+func (b *keyBounds) addHi(k int64) {
+	if !b.hasHi || k < b.hi {
+		b.hi, b.hasHi = k, true
+	}
+	b.check()
+}
+
+func (b *keyBounds) check() {
+	if b.hasLo && b.hasHi && b.lo > b.hi {
+		b.empty = true
+	}
+}
+
+func (b *keyBounds) merge(o keyBounds) {
+	if o.hasLo {
+		b.addLo(o.lo)
+	}
+	if o.hasHi {
+		b.addHi(o.hi)
+	}
+	if o.empty {
+		b.empty = true
+	}
+}
+
+// extractKeyBounds splits the WHERE tree into key bounds and the residual
+// predicate that still needs per-row evaluation. Only top-level AND
+// conjuncts are considered; anything under OR/NOT stays residual.
+func extractKeyBounds(e Expr, schema *engine.Schema) (keyBounds, Expr) {
+	b := unboundedKeys()
+	residual := extractInto(e, schema, &b)
+	return b, residual
+}
+
+func extractInto(e Expr, schema *engine.Schema, b *keyBounds) Expr {
+	bin, ok := e.(*BinaryExpr)
+	if !ok {
+		return e
+	}
+	if bin.Op == "AND" {
+		l := extractInto(bin.L, schema, b)
+		r := extractInto(bin.R, schema, b)
+		switch {
+		case l == nil && r == nil:
+			return nil
+		case l == nil:
+			return r
+		case r == nil:
+			return l
+		}
+		if l == bin.L && r == bin.R {
+			return e
+		}
+		return &BinaryExpr{Op: "AND", L: l, R: r}
+	}
+	if kb, ok := sargableBounds(bin, schema); ok {
+		b.merge(kb)
+		return nil
+	}
+	return e
+}
+
+// sargableBounds recognizes a single comparison between the clustered key
+// column and a numeric literal, in either operand order.
+func sargableBounds(bin *BinaryExpr, schema *engine.Schema) (keyBounds, bool) {
+	op := bin.Op
+	switch op {
+	case "=", "<", "<=", ">", ">=":
+	default:
+		return keyBounds{}, false
+	}
+	if isKeyColumn(bin.L, schema) {
+		if f, ok := constNumber(bin.R); ok {
+			return boundsFor(op, f)
+		}
+		return keyBounds{}, false
+	}
+	if isKeyColumn(bin.R, schema) {
+		if f, ok := constNumber(bin.L); ok {
+			return boundsFor(flipOp(op), f)
+		}
+	}
+	return keyBounds{}, false
+}
+
+func isKeyColumn(e Expr, schema *engine.Schema) bool {
+	c, ok := e.(*ColRef)
+	return ok && schema.ColIndex(c.Name) == schema.Key
+}
+
+// constNumber matches a numeric literal, optionally negated.
+func constNumber(e Expr) (float64, bool) {
+	switch n := e.(type) {
+	case *NumberLit:
+		return litFloat(n), true
+	case *UnaryExpr:
+		if n.Op != "-" {
+			return 0, false
+		}
+		if lit, ok := n.X.(*NumberLit); ok {
+			return -litFloat(lit), true
+		}
+	}
+	return 0, false
+}
+
+func litFloat(n *NumberLit) float64 {
+	if n.IsInt {
+		return float64(n.I)
+	}
+	return n.F
+}
+
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op // "="
+}
+
+// boundsFor converts "key op k" into integer key bounds. k may be
+// fractional (keys are BIGINT, so `id > 10.5` means `id >= 11`). Literals
+// too large for exact handling are left to the residual filter — the
+// caller gets ok=false and keeps the conjunct.
+func boundsFor(op string, k float64) (keyBounds, bool) {
+	// The residual evaluator compares keys as float64, which is exact
+	// only within ±2^53. Pushing down a bound outside that region would
+	// disagree with how the same predicate evaluates when it is not
+	// sargable (e.g. under an OR), so decline and keep the conjunct in
+	// the filter. |k| < 2^53 also keeps every derived bound (k±1) inside
+	// the exact region.
+	if math.IsNaN(k) || k <= -(1<<53) || k >= 1<<53 {
+		return keyBounds{}, false
+	}
+	b := unboundedKeys()
+	floor, ceil := int64(math.Floor(k)), int64(math.Ceil(k))
+	switch op {
+	case "=":
+		if floor != ceil { // fractional: no BIGINT key can match
+			b.empty = true
+			return b, true
+		}
+		b.addLo(floor)
+		b.addHi(floor)
+	case ">=":
+		b.addLo(ceil)
+	case ">":
+		b.addLo(floor + 1)
+	case "<=":
+		b.addHi(floor)
+	case "<":
+		b.addHi(ceil - 1)
+	default:
+		return keyBounds{}, false
+	}
+	return b, true
+}
+
+// ---- pipeline construction ----------------------------------------------
+
+// pipeline is a ready-to-run operator tree plus its output shape.
+type pipeline struct {
+	root    operator
+	columns []string
+}
+
+// compiledStmt is the outcome of compiling a statement's expressions.
+type compiledStmt struct {
+	items     []compiled
+	columns   []string
+	where     compiled // residual predicate (after pushdown), may be nil
+	accs      []*accumulator
+	aggregate bool
+}
+
+// compileStmt compiles the statement's expressions against the table
+// schema, registering aggregate accumulators. residualWhere replaces
+// stmt.Where (the planner strips pushed-down conjuncts first).
+func compileStmt(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, residualWhere Expr) (*compiledStmt, error) {
+	cc := &compileCtx{db: db, schema: tbl.Schema()}
+	cs := &compiledStmt{}
+	for _, it := range stmt.Items {
+		cs.aggregate = cs.aggregate || hasAggregate(it.Expr)
+	}
+	for i, it := range stmt.Items {
+		c, err := cc.compile(it.Expr, cs.aggregate)
+		if err != nil {
+			return nil, err
+		}
+		cs.items = append(cs.items, c)
+		name := it.Alias
+		if name == "" {
+			name = ExprString(it.Expr)
+			if len(name) > 40 {
+				name = fmt.Sprintf("col%d", i+1)
+			}
+		}
+		cs.columns = append(cs.columns, name)
+	}
+	if stmt.Where != nil && hasAggregate(stmt.Where) {
+		return nil, fmt.Errorf("sql: aggregates are not allowed in WHERE")
+	}
+	if residualWhere != nil {
+		w, err := cc.compile(residualWhere, false)
+		if err != nil {
+			return nil, err
+		}
+		cs.where = w
+	}
+	cs.accs = cc.accs
+	return cs, nil
+}
+
+// buildPipeline lowers a statement into an operator tree.
+func buildPipeline(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, opts ExecOptions) (*pipeline, error) {
+	bounds := unboundedKeys()
+	residual := stmt.Where
+	if stmt.Where != nil && !hasAggregate(stmt.Where) {
+		bounds, residual = extractKeyBounds(stmt.Where, tbl.Schema())
+	}
+	cs, err := compileStmt(db, tbl, stmt, residual)
+	if err != nil {
+		return nil, err
+	}
+
+	lo, hi := bounds.loKey(), bounds.hiKey()
+	if bounds.empty {
+		lo, hi = 1, 0 // empty range: the scan yields nothing
+	}
+
+	var root operator
+	if cs.aggregate && !bounds.empty {
+		if par, ok := planParallelAgg(db, tbl, stmt, residual, cs, lo, hi, opts); ok {
+			root = par
+		}
+	}
+	if root == nil {
+		root = &scanOp{tbl: tbl, lo: lo, hi: hi}
+		if cs.where != nil {
+			root = &filterOp{child: root, pred: cs.where}
+		}
+		if cs.aggregate {
+			root = &aggregateOp{child: root, accs: cs.accs}
+		}
+	}
+	root = &projectOp{child: root, items: cs.items}
+	if stmt.Top > 0 {
+		root = &limitOp{child: root, n: stmt.Top}
+	}
+	return &pipeline{root: root, columns: cs.columns}, nil
+}
+
+// planParallelAgg decides whether an aggregate scan is worth running in
+// parallel and builds the operator if so. The scanned key range is
+// clipped to the keys actually present so the partitions cover real data.
+func planParallelAgg(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, residual Expr,
+	cs *compiledStmt, lo, hi int64, opts ExecOptions) (operator, bool) {
+	workers := opts.workers()
+	if workers < 2 || tbl.Rows() < opts.threshold() {
+		return nil, false
+	}
+	minKey, maxKey, ok, err := tbl.KeyBounds()
+	if err != nil || !ok {
+		return nil, false
+	}
+	if minKey > lo {
+		lo = minKey
+	}
+	if maxKey < hi {
+		hi = maxKey
+	}
+	if lo > hi {
+		return nil, false
+	}
+	// A narrow pushed-down range caps the rows at span+1 no matter how
+	// big the table is — not worth the partition and goroutine setup.
+	if span := uint64(hi) - uint64(lo); span != ^uint64(0) && span+1 < uint64(opts.threshold()) {
+		return nil, false
+	}
+	return &parallelAggOp{
+		tbl:     tbl,
+		lo:      lo,
+		hi:      hi,
+		workers: workers,
+		accs:    cs.accs,
+		newWorker: func() (workerState, error) {
+			ws, err := compileStmt(db, tbl, stmt, residual)
+			if err != nil {
+				return workerState{}, err
+			}
+			return workerState{pred: ws.where, accs: ws.accs}, nil
+		},
+	}, true
+}

@@ -315,6 +315,18 @@ func TestExecErrors(t *testing.T) {
 	if _, err := Run(db, "SELECT SUM(b) FROM Tscalar"); err == nil {
 		t.Error("summing binary must fail")
 	}
+	// A bare column beside an aggregate has no defining row (no GROUP BY
+	// in the dialect) and must be a plan-time error, not a panic.
+	if _, err := Run(db, "SELECT id, COUNT(*) FROM Tscalar"); err == nil {
+		t.Error("bare column in aggregate query must fail")
+	}
+	if _, err := Run(db, "SELECT v1 + SUM(v1) FROM Tscalar"); err == nil {
+		t.Error("bare column inside aggregate projection must fail")
+	}
+	// Columns inside the aggregate argument and in WHERE stay legal.
+	if _, err := Run(db, "SELECT SUM(v1 + v2) FROM Tscalar WHERE v1 > 3"); err != nil {
+		t.Errorf("columns under aggregate/WHERE: %v", err)
+	}
 }
 
 func TestExprString(t *testing.T) {
@@ -352,5 +364,38 @@ func TestComparisonNaNSafety(t *testing.T) {
 	// NaN compares false everywhere; no panic.
 	if got := scalarFloat(t, db, "SELECT COUNT(*) FROM t WHERE x > 0 OR x <= 0"); got != 0 {
 		t.Errorf("NaN filter = %g", got)
+	}
+}
+
+func TestLimitAlias(t *testing.T) {
+	db := testDB(t)
+	res, err := Run(db, "SELECT id FROM Tscalar LIMIT 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Errorf("LIMIT 7 returned %d rows", len(res.Rows))
+	}
+	res, err = Run(db, "SELECT id FROM Tscalar WHERE id >= 40 LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 || res.Rows[0][0].I != 40 {
+		t.Errorf("LIMIT with WHERE = %v", res.Rows)
+	}
+	if got := scalarFloat(t, db, "SELECT COUNT(*) FROM Tscalar WHERE id < 10 LIMIT 1"); got != 10 {
+		t.Errorf("aggregate with LIMIT = %g", got)
+	}
+	bad := []string{
+		"SELECT id FROM Tscalar LIMIT 0",
+		"SELECT id FROM Tscalar LIMIT x",
+		"SELECT id FROM Tscalar LIMIT -3",
+		"SELECT TOP 5 id FROM Tscalar LIMIT 5",        // both forms at once
+		"SELECT id FROM Tscalar LIMIT 3 WHERE id > 2", // LIMIT must trail
+	}
+	for _, q := range bad {
+		if _, err := Run(db, q); err == nil {
+			t.Errorf("query %q should fail", q)
+		}
 	}
 }

@@ -12,6 +12,14 @@
 //     clustered B+tree tables, out-of-page blob store with partial
 //     reads, a CLR-like UDF boundary) and a SQL subset that runs the
 //     paper's queries verbatim;
+//   - a Volcano-style streaming executor: SELECT statements are lowered
+//     into an Open/Next/Close operator pipeline (scan → filter →
+//     aggregate → project → limit) over B+tree cursors. Sargable WHERE
+//     conjuncts on the clustered key (id = k, id >= lo AND id <= hi) are
+//     pushed into the scan as key ranges, TOP n / LIMIT n stops the scan
+//     after n rows, and large aggregate scans partition the key space
+//     across goroutines. Query materializes results; QueryRows streams
+//     them;
 //   - the T-SQL function surface (FloatArray.Item_1,
 //     FloatArrayMax.Subarray, IntArray.Vector_2, ...);
 //   - math substrates standing in for LAPACK and FFTW, plus the three
@@ -106,6 +114,12 @@ var (
 // Result is a materialized query result.
 type Result = sqlmini.Result
 
+// Rows is a streaming query result cursor; see QueryRows.
+type Rows = sqlmini.Rows
+
+// ExecOptions tunes query execution (parallel aggregate scans).
+type ExecOptions = sqlmini.ExecOptions
+
 // Database is a sqlarray engine instance with the full T-SQL function
 // surface registered and a one-row "dual" table for scalar SELECTs.
 type Database struct {
@@ -132,9 +146,31 @@ func NewDatabaseWith(opts Options) *Database {
 	return &Database{DB: db}
 }
 
-// Query parses and executes a SELECT statement.
+// Query parses and executes a SELECT statement, materializing the full
+// result. It is a thin wrapper over the streaming pipeline; use
+// QueryRows to consume rows incrementally.
 func (d *Database) Query(sql string) (*Result, error) {
 	return sqlmini.Run(d.DB, sql)
+}
+
+// QueryRows parses and executes a SELECT statement, returning a
+// streaming cursor over the operator pipeline. Rows are produced on
+// demand: a TOP n query stops scanning after n rows, and a key-range
+// query reads only the pages its range spans. The caller must Close the
+// cursor (it releases the scan's pinned pages).
+func (d *Database) QueryRows(sql string) (*Rows, error) {
+	return sqlmini.Query(d.DB, sql)
+}
+
+// QueryRowsWith is QueryRows with explicit execution options.
+func (d *Database) QueryRowsWith(sql string, opts ExecOptions) (*Rows, error) {
+	return sqlmini.QueryWith(d.DB, sql, opts)
+}
+
+// QueryWith runs a materializing query with explicit execution options
+// (e.g. forcing or disabling parallel aggregate scans).
+func (d *Database) QueryWith(sql string, opts ExecOptions) (*Result, error) {
+	return sqlmini.RunWith(d.DB, sql, opts)
 }
 
 // ArrayColumns maps column names to their array schemas for the
@@ -156,6 +192,17 @@ func (d *Database) QueryArray(sql string, cols ArrayColumns) (*Result, error) {
 		return nil, err
 	}
 	return d.Query(translated)
+}
+
+// QueryArrayRows is the streaming form of QueryArray: the subscript
+// sugar is translated, then the query runs through the operator
+// pipeline. The caller must Close the cursor.
+func (d *Database) QueryArrayRows(sql string, cols ArrayColumns) (*Rows, error) {
+	translated, err := arraysugar.Translate(sql, cols)
+	if err != nil {
+		return nil, err
+	}
+	return d.QueryRows(translated)
 }
 
 // QueryScalarFloat runs a query expected to return a single numeric
