@@ -1,0 +1,49 @@
+package arraysugar
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTranslate drives the subscript pre-parser with arbitrary input.
+// The invariant: Translate never panics — hostile bracket nesting,
+// unterminated strings and ragged subscripts all come back as errors.
+func FuzzTranslate(f *testing.F) {
+	cols := Columns{
+		"v": "FloatArray",
+		"m": "FloatArray",
+		"c": "FloatArrayMax",
+		"w": "IntArray",
+	}
+	for _, q := range []string{
+		"SELECT v[3] FROM t",
+		"SELECT m[1, 0] FROM t",
+		"SELECT v[1:4] FROM t",
+		"SELECT c[2, 0:3] FROM t",
+		"SELECT v[1 + 2] FROM t",
+		"SELECT v[w[0]] FROM t",
+		"SELECT v[w[v[w[0]]]] FROM t",
+		"SELECT 'v[0] inside a string' FROM t",
+		"-- v[0] inside a comment",
+		"SELECT unknowncol[0] FROM t",
+		"SELECT v[ FROM t",
+		"SELECT v[] FROM t",
+		"SELECT v[1:2:3] FROM t",
+		"SELECT v[1, 2, 3, 4, 5, 6, 7] FROM t",
+		"SELECT v['unterminated FROM t",
+		"SELECT " + strings.Repeat("v[", 80) + "0" + strings.Repeat("]", 80) + " FROM t",
+	} {
+		f.Add(q)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		out, err := Translate(src, cols)
+		if err != nil {
+			return
+		}
+		// A successful translation of subscript-free input must be the
+		// identity: the rewriter only touches col[...] forms.
+		if !strings.ContainsRune(src, '[') && out != src {
+			t.Fatalf("Translate(%q) rewrote subscript-free input to %q", src, out)
+		}
+	})
+}

@@ -50,12 +50,25 @@ func (c Columns) schemaFor(name string) (string, bool) {
 	return "", false
 }
 
+// maxSubscriptDepth bounds how deeply subscripts may nest inside each
+// other (a[b[c[...]]]). Real queries nest once or twice; the cap turns
+// pathological input into an error instead of unbounded recursion — the
+// invariant FuzzTranslate enforces.
+const maxSubscriptDepth = 64
+
 // Translate rewrites all subscript sugar in query. Text inside string
 // literals and comments is left untouched. Subscripts on identifiers
 // not present in cols are an error (catching typos early, as a connector
 // with catalog access would).
 func Translate(query string, cols Columns) (string, error) {
-	t := &translator{src: query, cols: cols}
+	return translateAt(query, cols, 0)
+}
+
+func translateAt(query string, cols Columns, depth int) (string, error) {
+	if depth > maxSubscriptDepth {
+		return "", &Error{Pos: 0, Msg: fmt.Sprintf("subscript nesting exceeds %d levels", maxSubscriptDepth)}
+	}
+	t := &translator{src: query, cols: cols, depth: depth}
 	out, err := t.run(0, len(query))
 	if err != nil {
 		return "", err
@@ -64,8 +77,9 @@ func Translate(query string, cols Columns) (string, error) {
 }
 
 type translator struct {
-	src  string
-	cols Columns
+	src   string
+	cols  Columns
+	depth int
 }
 
 // run translates src[from:to].
@@ -193,11 +207,11 @@ func (t *translator) rewriteSubscript(schema, col string, from, to int) (string,
 	// Recursively translate each dimension expression (subscripts can
 	// nest: a[b[0]]).
 	for i := range dims {
-		if dims[i].a, err = Translate(dims[i].a, t.cols); err != nil {
+		if dims[i].a, err = translateAt(dims[i].a, t.cols, t.depth+1); err != nil {
 			return "", err
 		}
 		if dims[i].isSlice {
-			if dims[i].b, err = Translate(dims[i].b, t.cols); err != nil {
+			if dims[i].b, err = translateAt(dims[i].b, t.cols, t.depth+1); err != nil {
 				return "", err
 			}
 		}

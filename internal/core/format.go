@@ -79,9 +79,15 @@ type parseNode struct {
 	children []*parseNode
 }
 
+// maxParseDepth bounds nesting in array literals; list nesting maps to
+// array rank, so anything past a generous cap is hostile input, not an
+// array.
+const maxParseDepth = 64
+
 type strParser struct {
-	s   string
-	pos int
+	s     string
+	pos   int
+	depth int
 }
 
 func (p *strParser) skipSpace() {
@@ -96,6 +102,11 @@ func (p *strParser) value() (*parseNode, error) {
 		return nil, fmt.Errorf("core: unexpected end of array literal")
 	}
 	if p.s[p.pos] == '[' {
+		p.depth++
+		if p.depth > maxParseDepth {
+			return nil, fmt.Errorf("%w: literal nesting exceeds %d levels", ErrShape, maxParseDepth)
+		}
+		defer func() { p.depth-- }()
 		p.pos++
 		n := &parseNode{}
 		for {

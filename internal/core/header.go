@@ -66,6 +66,25 @@ func (h *Header) EncodedSize() int {
 // TotalBytes returns header plus payload length.
 func (h *Header) TotalBytes() int { return h.EncodedSize() + h.DataBytes() }
 
+// maxElements caps the element count a header may declare: the payload
+// byte size (count times the largest element width, 16) must stay
+// representable in an int.
+const maxElements = int(^uint(0)>>1) / 16
+
+// checkedCount computes the element count, failing instead of wrapping
+// when the product of the dimension sizes overflows. Dimension sizes
+// must already be range-checked non-negative.
+func (h *Header) checkedCount() (int, error) {
+	n := 1
+	for _, d := range h.Dims {
+		if d != 0 && n > maxElements/d {
+			return 0, fmt.Errorf("%w: element count of %v overflows", ErrTooLarge, h.Dims)
+		}
+		n *= d
+	}
+	return n, nil
+}
+
 // Validate checks the header against the limits of its storage class.
 func (h *Header) Validate() error {
 	if !h.Elem.Valid() {
@@ -83,9 +102,6 @@ func (h *Header) Validate() error {
 					ErrBadHeader, i, d, MaxShortDim)
 			}
 		}
-		if h.TotalBytes() > MaxShortBytes {
-			return fmt.Errorf("%w: %d bytes > VARBINARY(%d)", ErrTooLarge, h.TotalBytes(), MaxShortBytes)
-		}
 	case Max:
 		for i, d := range h.Dims {
 			if d < 0 || d > MaxMaxDim {
@@ -95,6 +111,16 @@ func (h *Header) Validate() error {
 		}
 	default:
 		return fmt.Errorf("%w: unknown storage class %d", ErrBadHeader, uint8(h.Class))
+	}
+	// Element-count overflow would wrap every size computation below
+	// (and let a corrupt header declare a tiny payload for huge dims),
+	// so it is checked before any byte arithmetic — the invariant
+	// FuzzWrap enforces.
+	if _, err := h.checkedCount(); err != nil {
+		return err
+	}
+	if h.Class == Short && h.TotalBytes() > MaxShortBytes {
+		return fmt.Errorf("%w: %d bytes > VARBINARY(%d)", ErrTooLarge, h.TotalBytes(), MaxShortBytes)
 	}
 	return nil
 }

@@ -61,6 +61,26 @@ func (c *Cursor) Next() bool {
 	return true
 }
 
+// FillBatch advances the cursor through up to max rows, invoking fn for
+// each one — the engine half of batch-at-a-time execution. It drives the
+// B+tree leaf iterator directly, so a batch fill walks leaf runs without
+// crossing the Cursor interface per row. The RowView passed to fn is
+// reused and aliases the pinned leaf page: fn must copy anything it
+// keeps. It returns the number of rows consumed; fewer than max means
+// the range is exhausted (or fn failed — check the error). FillBatch and
+// Next may be interleaved freely; both advance the same scan position.
+func (c *Cursor) FillBatch(max int, fn func(key int64, row *RowView) error) (int, error) {
+	n := 0
+	for n < max && c.it.Next() {
+		c.rv.reset(c.schema, c.it.Value())
+		if err := fn(c.it.Key(), &c.rv); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, c.it.Err()
+}
+
 // Key returns the current row's clustered key.
 func (c *Cursor) Key() int64 { return c.it.Key() }
 

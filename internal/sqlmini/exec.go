@@ -105,11 +105,12 @@ func StreamWith(db *engine.DB, stmt *SelectStmt, opts ExecOptions) (*Rows, error
 // Rows are materialized as they are yielded: a slice returned by Row
 // remains valid after further Next calls and after Close.
 type Rows struct {
-	columns []string
-	root    operator
-	cur     []engine.Value
-	err     error
-	closed  bool
+	columns  []string
+	root     operator
+	cur      []engine.Value
+	err      error
+	closed   bool
+	closeErr error
 }
 
 // Columns returns the output column names.
@@ -140,14 +141,17 @@ func (r *Rows) Row() []engine.Value { return r.cur }
 // Err returns the first error encountered while streaming.
 func (r *Rows) Err() error { return r.err }
 
-// Close tears down the pipeline, releasing any pinned pages. Safe to
-// call more than once.
+// Close tears down the pipeline, releasing any pinned pages. It is
+// idempotent: repeated calls return the first close's error without
+// touching the (already released) pipeline again, and Next after Close
+// always reports false.
 func (r *Rows) Close() error {
 	if r.closed {
-		return nil
+		return r.closeErr
 	}
 	r.closed = true
-	return r.root.close()
+	r.closeErr = r.root.close()
+	return r.closeErr
 }
 
 // ---- plan-time compilation -------------------------------------------
@@ -155,26 +159,94 @@ func (r *Rows) Close() error {
 // rowCtx carries per-row state through the operator pipeline: the
 // current key and row view below the projection, aggregate results above
 // the aggregate operator, and the materialized output row once
-// projected.
+// projected. In the batch pipeline a row has no RowView — row-wise
+// evaluation over batch rows binds (batch, idx) instead and column
+// references read the decoded batch column.
 type rowCtx struct {
 	key     int64
 	row     *engine.RowView
+	batch   *Batch         // batch-backed row when row == nil
+	idx     int            // row index within batch
 	aggVals []engine.Value // filled by the aggregate operators
 	out     []engine.Value // filled by projectOp; safe to retain
 }
 
-// compiled is an executable expression.
+// compiled is an executable expression. eval produces one value for the
+// current row; evalBatch produces a vector of values for rows [0, n) of
+// a batch. Nodes whose per-row semantics matter (UDF call counts,
+// AND/OR short-circuiting) implement evalBatch as a row-wise loop over
+// the batch; the data-parallel nodes (columns, constants, arithmetic,
+// comparisons) are vectorized. The returned slice is scratch owned by
+// the node — valid until its next evalBatch call — except for cCol,
+// which aliases the batch column directly.
 type compiled interface {
 	eval(ctx *rowCtx) (engine.Value, error)
+	evalBatch(b *Batch, n int) ([]engine.Value, error)
 }
 
-type cConst struct{ v engine.Value }
+// ensureVec sizes a scratch vector to n values.
+func ensureVec(vec *[]engine.Value, n int) []engine.Value {
+	if cap(*vec) < n {
+		*vec = make([]engine.Value, n)
+	}
+	*vec = (*vec)[:n]
+	return *vec
+}
+
+// evalRowwise is the generic batch fallback: evaluate c once per batch
+// row through the row-at-a-time path, preserving per-row semantics.
+func evalRowwise(c compiled, b *Batch, n int, scratch *[]engine.Value) ([]engine.Value, error) {
+	vec := ensureVec(scratch, n)
+	ctx := rowCtx{batch: b, aggVals: b.aggVals}
+	for i := 0; i < n; i++ {
+		ctx.idx = i
+		if i < len(b.keys) {
+			ctx.key = b.keys[i]
+		}
+		v, err := c.eval(&ctx)
+		if err != nil {
+			return nil, err
+		}
+		vec[i] = v
+	}
+	return vec, nil
+}
+
+type cConst struct {
+	v   engine.Value
+	vec []engine.Value
+}
 
 func (c *cConst) eval(*rowCtx) (engine.Value, error) { return c.v, nil }
 
+func (c *cConst) evalBatch(b *Batch, n int) ([]engine.Value, error) {
+	vec := ensureVec(&c.vec, n)
+	for i := range vec {
+		vec[i] = c.v
+	}
+	return vec, nil
+}
+
 type cCol struct{ idx int }
 
-func (c *cCol) eval(ctx *rowCtx) (engine.Value, error) { return ctx.row.Col(c.idx) }
+func (c *cCol) eval(ctx *rowCtx) (engine.Value, error) {
+	if ctx.row != nil {
+		return ctx.row.Col(c.idx)
+	}
+	col := ctx.batch.cols[c.idx]
+	if col == nil {
+		return engine.Null, fmt.Errorf("sql: internal: column %d not decoded into batch", c.idx)
+	}
+	return col[ctx.idx], nil
+}
+
+func (c *cCol) evalBatch(b *Batch, n int) ([]engine.Value, error) {
+	col := b.cols[c.idx]
+	if col == nil {
+		return nil, fmt.Errorf("sql: internal: column %d not decoded into batch", c.idx)
+	}
+	return col[:n], nil
+}
 
 // cUDF invokes a scalar UDF through the engine's CLR-like boundary; the
 // FuncDef is resolved once at plan time, as a real plan would cache the
@@ -184,6 +256,7 @@ type cUDF struct {
 	def  *engine.FuncDef
 	args []compiled
 	buf  []engine.Value
+	vec  []engine.Value
 }
 
 func (c *cUDF) eval(ctx *rowCtx) (engine.Value, error) {
@@ -201,13 +274,147 @@ func (c *cUDF) eval(ctx *rowCtx) (engine.Value, error) {
 	return c.reg.Call(c.def, args)
 }
 
-type cAggRef struct{ idx int }
+// evalBatch stays row-wise: each row must cross the UDF boundary exactly
+// once, in order, with its own argument evaluation.
+func (c *cUDF) evalBatch(b *Batch, n int) ([]engine.Value, error) {
+	return evalRowwise(c, b, n, &c.vec)
+}
+
+type cAggRef struct {
+	idx int
+	vec []engine.Value
+}
 
 func (c *cAggRef) eval(ctx *rowCtx) (engine.Value, error) { return ctx.aggVals[c.idx], nil }
+
+func (c *cAggRef) evalBatch(b *Batch, n int) ([]engine.Value, error) {
+	if c.idx >= len(b.aggVals) {
+		return nil, fmt.Errorf("sql: internal: aggregate ref below the aggregate operator")
+	}
+	vec := ensureVec(&c.vec, n)
+	for i := range vec {
+		vec[i] = b.aggVals[c.idx]
+	}
+	return vec, nil
+}
 
 type cBinary struct {
 	op   string
 	l, r compiled
+	vec  []engine.Value
+}
+
+// evalBatch vectorizes arithmetic and comparison over both operand
+// vectors. AND/OR fall back to the row-wise loop so short-circuit
+// semantics (which UDF calls happen, which errors surface) are identical
+// to the row pipeline.
+func (c *cBinary) evalBatch(b *Batch, n int) ([]engine.Value, error) {
+	switch c.op {
+	case "AND", "OR":
+		return evalRowwise(c, b, n, &c.vec)
+	}
+	l, err := c.l.evalBatch(b, n)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.r.evalBatch(b, n)
+	if err != nil {
+		return nil, err
+	}
+	vec := ensureVec(&c.vec, n)
+	switch c.op {
+	case "+", "-", "*", "/", "%":
+		for i := 0; i < n; i++ {
+			lv, rv := l[i], r[i]
+			// Fast path: FLOAT op FLOAT inline, skipping the generic
+			// coercion. (Division promotes to float anyway, so int pairs
+			// still go through arith.)
+			if lv.Kind == engine.ColFloat64 && rv.Kind == engine.ColFloat64 {
+				switch c.op {
+				case "+":
+					vec[i] = engine.FloatValue(lv.F + rv.F)
+					continue
+				case "-":
+					vec[i] = engine.FloatValue(lv.F - rv.F)
+					continue
+				case "*":
+					vec[i] = engine.FloatValue(lv.F * rv.F)
+					continue
+				case "/":
+					vec[i] = engine.FloatValue(lv.F / rv.F)
+					continue
+				}
+			}
+			if lv.IsNull() || rv.IsNull() {
+				vec[i] = engine.Null
+				continue
+			}
+			v, err := arith(c.op, lv, rv)
+			if err != nil {
+				return nil, err
+			}
+			vec[i] = v
+		}
+	case "=", "<>", "<", "<=", ">", ">=":
+		for i := 0; i < n; i++ {
+			lv, rv := l[i], r[i]
+			switch {
+			case lv.Kind == engine.ColFloat64 && rv.Kind == engine.ColFloat64:
+				// IEEE comparisons agree with compare()'s NaN handling:
+				// every operator is false on NaN except <>.
+				vec[i] = boolVal(cmpFloat(c.op, lv.F, rv.F))
+			case lv.Kind == engine.ColInt64 && rv.Kind == engine.ColInt64:
+				vec[i] = boolVal(cmpInt(c.op, lv.I, rv.I))
+			case lv.IsNull() || rv.IsNull():
+				vec[i] = engine.Null
+			default:
+				v, err := compare(c.op, lv, rv)
+				if err != nil {
+					return nil, err
+				}
+				vec[i] = v
+			}
+		}
+	default:
+		return nil, fmt.Errorf("sql: unknown operator %q", c.op)
+	}
+	return vec, nil
+}
+
+func cmpFloat(op string, a, b float64) bool {
+	switch op {
+	case "=":
+		return a == b
+	case "<>":
+		return a != b
+	case "<":
+		return a < b
+	case "<=":
+		return a <= b
+	case ">":
+		return a > b
+	case ">=":
+		return a >= b
+	}
+	return false
+}
+
+func cmpInt(op string, a, b int64) bool {
+	switch op {
+	case "=":
+		return a == b
+	case "<>":
+		return a != b
+	case "<":
+		return a < b
+	case "<=":
+		return a <= b
+	case ">":
+		return a > b
+	case ">=":
+		return a >= b
+	}
+	return false
 }
 
 func (c *cBinary) eval(ctx *rowCtx) (engine.Value, error) {
@@ -254,8 +461,38 @@ func (c *cBinary) eval(ctx *rowCtx) (engine.Value, error) {
 }
 
 type cUnary struct {
-	op string
-	x  compiled
+	op  string
+	x   compiled
+	vec []engine.Value
+}
+
+// evalBatch vectorizes negation; NOT goes row-wise because its operand
+// may contain short-circuiting logic or UDF calls.
+func (c *cUnary) evalBatch(b *Batch, n int) ([]engine.Value, error) {
+	if c.op != "-" {
+		return evalRowwise(c, b, n, &c.vec)
+	}
+	x, err := c.x.evalBatch(b, n)
+	if err != nil {
+		return nil, err
+	}
+	vec := ensureVec(&c.vec, n)
+	for i := 0; i < n; i++ {
+		v := x[i]
+		switch {
+		case v.IsNull():
+			vec[i] = engine.Null
+		case v.Kind == engine.ColInt64:
+			vec[i] = engine.IntValue(-v.I)
+		default:
+			f, err := v.AsFloat()
+			if err != nil {
+				return nil, err
+			}
+			vec[i] = engine.FloatValue(-f)
+		}
+	}
+	return vec, nil
 }
 
 func (c *cUnary) eval(ctx *rowCtx) (engine.Value, error) {
@@ -350,6 +587,12 @@ func compare(op string, l, r engine.Value) (engine.Value, error) {
 		c = bytes.Compare(lb, rb)
 	case lIsBin != rIsBin:
 		return engine.Null, fmt.Errorf("%w: comparing binary with numeric", engine.ErrTypeError)
+	case l.Kind == engine.ColInt64 && r.Kind == engine.ColInt64:
+		// BIGINT pairs compare exactly (as in T-SQL); going through
+		// float64 would collapse values past 2^53. This is also what
+		// keeps the row and batch pipelines identical — the batch
+		// executor's int fast path is exact.
+		return boolVal(cmpInt(op, l.I, r.I)), nil
 	default:
 		lf, err := l.AsFloat()
 		if err != nil {
@@ -422,6 +665,42 @@ func (a *accumulator) add(ctx *rowCtx) error {
 	if err != nil {
 		return err
 	}
+	a.addFloat(f)
+	return nil
+}
+
+// addBatch folds rows [0, n) of a batch into the accumulator, evaluating
+// the argument expression once over the whole batch.
+func (a *accumulator) addBatch(b *Batch, n int) error {
+	if a.arg == nil { // COUNT(*)
+		a.count += int64(n)
+		return nil
+	}
+	vals, err := a.arg.evalBatch(b, n)
+	if err != nil {
+		return err
+	}
+	for i := range vals[:n] {
+		var f float64
+		switch vals[i].Kind {
+		case engine.ColFloat64:
+			f = vals[i].F
+		case engine.ColInt64:
+			f = float64(vals[i].I)
+		case 0:
+			continue // SQL aggregates skip NULLs
+		default:
+			var err error
+			if f, err = vals[i].AsFloat(); err != nil {
+				return err
+			}
+		}
+		a.addFloat(f)
+	}
+	return nil
+}
+
+func (a *accumulator) addFloat(f float64) {
 	a.count++
 	a.sum += f
 	if !a.any || f < a.min {
@@ -431,7 +710,6 @@ func (a *accumulator) add(ctx *rowCtx) error {
 		a.max = f
 	}
 	a.any = true
-	return nil
 }
 
 // merge folds another accumulator's partial state into a. The parallel
@@ -481,11 +759,13 @@ func (a *accumulator) result() engine.Value {
 // ---- expression compilation ---------------------------------------------
 
 // compileCtx carries plan-time state; aggregate arguments register
-// accumulators here.
+// accumulators here, and column references mark their schema index in
+// used so the batch scan decodes only referenced columns.
 type compileCtx struct {
 	db     *engine.DB
 	schema *engine.Schema
 	accs   []*accumulator
+	used   []bool
 }
 
 // compile turns an AST node into an executable expression. Inside an
@@ -495,18 +775,19 @@ func (cc *compileCtx) compile(e Expr, inAggQuery bool) (compiled, error) {
 	switch n := e.(type) {
 	case *NumberLit:
 		if n.IsInt {
-			return &cConst{engine.IntValue(n.I)}, nil
+			return &cConst{v: engine.IntValue(n.I)}, nil
 		}
-		return &cConst{engine.FloatValue(n.F)}, nil
+		return &cConst{v: engine.FloatValue(n.F)}, nil
 	case *StringLit:
-		return &cConst{engine.BinaryValue([]byte(n.S))}, nil
+		return &cConst{v: engine.BinaryValue([]byte(n.S))}, nil
 	case *NullLit:
-		return &cConst{engine.Null}, nil
+		return &cConst{v: engine.Null}, nil
 	case *ColRef:
 		idx := cc.schema.ColIndex(n.Name)
 		if idx < 0 {
 			return nil, fmt.Errorf("%w: %q", engine.ErrNoColumn, n.Name)
 		}
+		cc.used[idx] = true
 		if inAggQuery {
 			// An aggregate query emits one row with no underlying scan row;
 			// a bare column there has no value (T-SQL rejects this too, as

@@ -1,0 +1,43 @@
+package sqlmini
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the lexer and parser with arbitrary input. The
+// invariant: Parse never panics (no slice overruns, no unbounded
+// recursion) — it returns a statement or an error. The seed corpus is
+// the golden query set plus shapes chosen to reach every lexer state.
+func FuzzParse(f *testing.F) {
+	for _, q := range goldenQueries {
+		f.Add(q)
+	}
+	for _, q := range []string{
+		"",
+		"SELECT",
+		"SELECT * FROM t",
+		"SELECT TOP 0 x FROM t",
+		"SELECT -1e309, .5, 1.2e-3 FROM t",
+		"SELECT 'it''s' FROM t",
+		"SELECT 'unterminated FROM t",
+		"SELECT dbo.f(a, b, c) FROM t WITH (NOLOCK) WHERE NOT a = 1 LIMIT 2",
+		"SELECT ((((((1)))))) FROM t -- comment",
+		"SELECT a FROM t WHERE a <> b AND a <= b OR a >= b",
+		"SELECT " + strings.Repeat("(", 64) + "1" + strings.Repeat(")", 64) + " FROM t",
+		"SELECT " + strings.Repeat("NOT ", 300) + "1 FROM t",
+		"SELECT COUNT(*) n FROM t WHERE x % 2 = 0",
+		"SELECT NULL, -x, +x FROM éé",
+	} {
+		f.Add(q)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err == nil && stmt == nil {
+			t.Fatalf("Parse(%q) returned neither statement nor error", src)
+		}
+		if err != nil && stmt != nil {
+			t.Fatalf("Parse(%q) returned both statement and error %v", src, err)
+		}
+	})
+}

@@ -193,6 +193,51 @@ type workerState struct {
 	accs []*accumulator
 }
 
+// runPartitions is the fan-out/merge scaffolding shared by the row and
+// batch parallel aggregate operators: it partitions [lo, hi] across up
+// to workers goroutines, gives each a freshly compiled workerState,
+// runs scan over each partition with a cooperative stop flag, returns
+// the first error in partition order, and otherwise merges the partial
+// accumulators into accs in partition order (keeping float results
+// deterministic for a fixed worker count).
+func runPartitions(lo, hi int64, workers int, newWorker func() (workerState, error),
+	scan func(st *workerState, lo, hi int64, stop *atomic.Bool) error,
+	accs []*accumulator) error {
+	spans := partitionSpans(lo, hi, workers)
+	states := make([]workerState, len(spans))
+	for i := range states {
+		st, err := newWorker()
+		if err != nil {
+			return err
+		}
+		states[i] = st
+	}
+	var (
+		wg   sync.WaitGroup
+		stop atomic.Bool
+		errs = make([]error, len(spans))
+	)
+	for i, span := range spans {
+		wg.Add(1)
+		go func(i int, lo, hi int64) {
+			defer wg.Done()
+			errs[i] = scan(&states[i], lo, hi, &stop)
+		}(i, span[0], span[1])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, st := range states {
+		for i, acc := range st.accs {
+			accs[i].merge(acc)
+		}
+	}
+	return nil
+}
+
 // parallelAggOp fuses scan + filter + aggregate across goroutines: the
 // key space [lo, hi] is partitioned into contiguous ranges, each worker
 // runs its own cursor, predicate and accumulators over one range, and the
@@ -226,69 +271,8 @@ func (p *parallelAggOp) next() (*rowCtx, error) {
 	}
 	p.done = true
 
-	w := p.workers
-	span := uint64(p.hi) - uint64(p.lo) // key count - 1; wrap-safe
-	if span != ^uint64(0) && span+1 < uint64(w) {
-		w = int(span + 1)
-	}
-	// Ceiling division so the remainder spreads across workers instead of
-	// all landing on the last one.
-	step := span / uint64(w)
-	if span%uint64(w) != 0 {
-		step++
-	}
-	if step == 0 {
-		step = 1
-	}
-
-	states := make([]workerState, w)
-	for i := range states {
-		st, err := p.newWorker()
-		if err != nil {
-			return nil, err
-		}
-		states[i] = st
-	}
-
-	var (
-		wg       sync.WaitGroup
-		stop     atomic.Bool
-		errs     = make([]error, w)
-		firstErr error
-	)
-	for i := 0; i < w; i++ {
-		// Partition i covers key offsets [i*step, i*step+step-1] from lo,
-		// clamped to the span; the last worker always ends at hi.
-		offLo := step * uint64(i)
-		if offLo > span {
-			continue // earlier partitions already cover everything
-		}
-		offHi := offLo + step - 1
-		if offHi < offLo || offHi > span || i == w-1 {
-			offHi = span
-		}
-		start := int64(uint64(p.lo) + offLo)
-		end := int64(uint64(p.lo) + offHi)
-		wg.Add(1)
-		go func(i int, lo, hi int64) {
-			defer wg.Done()
-			errs[i] = p.scanPartition(&states[i], lo, hi, &stop)
-		}(i, start, end)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			firstErr = err
-			break
-		}
-	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	for _, st := range states {
-		for i, acc := range st.accs {
-			p.accs[i].merge(acc)
-		}
+	if err := runPartitions(p.lo, p.hi, p.workers, p.newWorker, p.scanPartition, p.accs); err != nil {
+		return nil, err
 	}
 	p.ctx.aggVals = make([]engine.Value, len(p.accs))
 	for i, acc := range p.accs {

@@ -23,9 +23,25 @@ func Parse(src string) (*SelectStmt, error) {
 }
 
 type parser struct {
-	toks []token
-	i    int
+	toks  []token
+	i     int
+	depth int
 }
+
+// maxExprDepth bounds expression nesting so hostile input (kilobytes of
+// "(" or "NOT") returns an error instead of exhausting the stack — the
+// invariant FuzzParse enforces.
+const maxExprDepth = 200
+
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxExprDepth {
+		return errAt(p.peek().pos, "expression nesting exceeds %d levels", maxExprDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) peek() token   { return p.toks[p.i] }
 func (p *parser) next() token   { t := p.toks[p.i]; p.i++; return t }
@@ -167,7 +183,13 @@ func (p *parser) selectItem() (SelectItem, error) {
 //	mulExpr  := unary ((*|/|%) unary)*
 //	unary    := [-] primary
 //	primary  := number | string | NULL | aggcall | funccall | colref | (expr)
-func (p *parser) expr() (Expr, error) { return p.orExpr() }
+func (p *parser) expr() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
+	return p.orExpr()
+}
 
 func (p *parser) orExpr() (Expr, error) {
 	l, err := p.andExpr()
@@ -201,6 +223,10 @@ func (p *parser) andExpr() (Expr, error) {
 
 func (p *parser) notExpr() (Expr, error) {
 	if p.acceptKeyword("NOT") {
+		if err := p.enter(); err != nil {
+			return nil, err
+		}
+		defer p.leave()
 		x, err := p.notExpr()
 		if err != nil {
 			return nil, err
@@ -273,17 +299,20 @@ func (p *parser) mulExpr() (Expr, error) {
 }
 
 func (p *parser) unary() (Expr, error) {
-	if t := p.peek(); t.kind == tokOp && t.text == "-" {
+	if t := p.peek(); t.kind == tokOp && (t.text == "-" || t.text == "+") {
 		p.next()
+		if err := p.enter(); err != nil {
+			return nil, err
+		}
+		defer p.leave()
 		x, err := p.unary()
 		if err != nil {
 			return nil, err
 		}
+		if t.text == "+" {
+			return x, nil
+		}
 		return &UnaryExpr{Op: "-", X: x}, nil
-	}
-	if t := p.peek(); t.kind == tokOp && t.text == "+" {
-		p.next()
-		return p.unary()
 	}
 	return p.primary()
 }

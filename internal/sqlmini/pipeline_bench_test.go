@@ -36,6 +36,45 @@ func BenchmarkScanVsRangeScan(b *testing.B) {
 	})
 }
 
+// BenchmarkPipelineRowVsBatch compares the row-at-a-time Volcano
+// pipeline against the batch executor on the shapes the paper's
+// workloads are dominated by: full-scan aggregates and filter-heavy
+// scans over ≥100k rows. Both sides run serially (Parallelism 1) so the
+// difference is purely per-row interface dispatch and materialization
+// cost; ns/row is reported for direct comparison.
+func BenchmarkPipelineRowVsBatch(b *testing.B) {
+	const rows = 100000
+	db := wideDB(b, rows)
+	cases := []struct {
+		name string
+		q    string
+	}{
+		{"AggScan", "SELECT SUM(v1), COUNT(*) FROM T"},
+		{"FilterAgg", "SELECT SUM(v1) FROM T WHERE v2 >= 50"},
+		{"FilterProject", "SELECT id, v1 + v2 FROM T WHERE v2 < 50"},
+	}
+	modes := []struct {
+		name string
+		opts ExecOptions
+	}{
+		{"Row", ExecOptions{Parallelism: 1, RowPipeline: true}},
+		{"Batch", ExecOptions{Parallelism: 1}},
+	}
+	for _, c := range cases {
+		for _, m := range modes {
+			b.Run(c.name+"/"+m.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := RunWith(db, c.q, m.opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/rows, "ns/row")
+			})
+		}
+	}
+}
+
 // BenchmarkParallelAggregate compares the serial aggregate scan against
 // the partitioned parallel one on all available cores.
 func BenchmarkParallelAggregate(b *testing.B) {

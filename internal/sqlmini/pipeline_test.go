@@ -184,43 +184,138 @@ var goldenQueries = []string{
 	"SELECT TOP 3 id FROM Tscalar WHERE id >= 50",
 	"SELECT id FROM Tscalar LIMIT 4",
 	"SELECT id FROM Tscalar WHERE id >= 95 LIMIT 10",
+	// Logic over aggregate results (row-wise evaluation above the
+	// aggregate in the batch pipeline).
+	"SELECT COUNT(*) > 0 AND SUM(v1) > 4000 FROM Tscalar",
+	"SELECT NOT COUNT(*) FROM Tscalar",
+	// Binary values crossing batch boundaries.
+	"SELECT id, b FROM Tscalar WHERE id >= 3 AND id < 9",
+	"SELECT COUNT(*) FROM Tscalar WHERE b = 'x'",
+	// Short-circuit logic mixing UDFs and columns in the residual filter.
+	"SELECT id FROM Tscalar WHERE v1 < 5 AND dbo.Twice(v1) > 2",
+	"SELECT id FROM Tscalar WHERE v1 >= 97 OR dbo.Twice(v1) < 4",
+	// TOP over an aggregate (vacuous limit) and over a residual filter
+	// (limit must truncate a surplus batch instead of clipping the scan).
+	"SELECT TOP 1 SUM(v1) FROM Tscalar",
+	"SELECT TOP 4 id FROM Tscalar WHERE v1 % 3 = 0",
+	"SELECT id FROM Tscalar WHERE v2 >= 500 LIMIT 7",
+	// BIGINT pairs compare exactly past 2^53 in every executor (the
+	// literal is unpushable, so this exercises the residual compare).
+	"SELECT COUNT(*) FROM Tscalar WHERE id <> 9007199254740993",
 }
 
-// TestGoldenEquivalence asserts the streaming pipeline (materialized via
-// Run, and streamed via Query) matches the reference full-scan executor
-// on every covered query shape.
+// TestGoldenEquivalence asserts that every execution strategy — the row
+// pipeline, the batch pipeline at the default and at a tiny batch size
+// (exercising batch-boundary handling), materialized and streamed —
+// matches the reference full-scan executor on every covered query shape,
+// and that no strategy leaks a buffer-pool pin after Close.
 func TestGoldenEquivalence(t *testing.T) {
 	db := testDB(t)
+	modes := []struct {
+		name string
+		opts ExecOptions
+	}{
+		{"row", ExecOptions{RowPipeline: true}},
+		{"batch", ExecOptions{}},
+		{"batch3", ExecOptions{BatchSize: 3}},
+	}
 	for _, q := range goldenQueries {
 		want, err := referenceRun(db, q)
 		if err != nil {
 			t.Fatalf("reference(%q): %v", q, err)
 		}
-		got, err := Run(db, q)
-		if err != nil {
-			t.Fatalf("Run(%q): %v", q, err)
-		}
-		if diff := resultEq(want, got); diff != "" {
-			t.Errorf("Run(%q): %s", q, diff)
-		}
-		rows, err := Query(db, q)
-		if err != nil {
-			t.Fatalf("Query(%q): %v", q, err)
-		}
-		streamed := &Result{Columns: rows.Columns()}
-		for rows.Next() {
-			streamed.Rows = append(streamed.Rows, rows.Row())
-		}
-		if err := rows.Err(); err != nil {
-			t.Fatalf("Query(%q) stream: %v", q, err)
-		}
-		rows.Close()
-		if diff := resultEq(want, streamed); diff != "" {
-			t.Errorf("Query(%q): %s", q, diff)
+		for _, m := range modes {
+			got, err := RunWith(db, q, m.opts)
+			if err != nil {
+				t.Fatalf("%s Run(%q): %v", m.name, q, err)
+			}
+			if diff := resultEq(want, got); diff != "" {
+				t.Errorf("%s Run(%q): %s", m.name, q, diff)
+			}
+			rows, err := QueryWith(db, q, m.opts)
+			if err != nil {
+				t.Fatalf("%s Query(%q): %v", m.name, q, err)
+			}
+			streamed := &Result{Columns: rows.Columns()}
+			for rows.Next() {
+				streamed.Rows = append(streamed.Rows, rows.Row())
+			}
+			if err := rows.Err(); err != nil {
+				t.Fatalf("%s Query(%q) stream: %v", m.name, q, err)
+			}
+			if err := rows.Close(); err != nil {
+				t.Fatalf("%s Close(%q): %v", m.name, q, err)
+			}
+			if diff := resultEq(want, streamed); diff != "" {
+				t.Errorf("%s Query(%q): %s", m.name, q, diff)
+			}
+			if got := db.Pool().PinnedFrames(); got != 0 {
+				t.Fatalf("%s %q: PinnedFrames after Close = %d, want 0", m.name, q, got)
+			}
 		}
 	}
-	if got := db.Pool().PinnedFrames(); got != 0 {
-		t.Errorf("PinnedFrames after golden sweep = %d", got)
+}
+
+// TestRowsCloseSemantics pins the Rows contract for both pipelines:
+// Close mid-stream (with leaf pages still pinned) releases every pin,
+// Close is idempotent, and Next after Close reports false instead of
+// touching the torn-down pipeline.
+func TestRowsCloseSemantics(t *testing.T) {
+	db := wideDB(t, 3000)
+	for _, m := range []struct {
+		name string
+		opts ExecOptions
+	}{
+		{"row", ExecOptions{RowPipeline: true}},
+		{"batch", ExecOptions{}},
+	} {
+		t.Run(m.name, func(t *testing.T) {
+			rows, err := QueryWith(db, "SELECT id, v1 FROM T", m.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 5; i++ {
+				if !rows.Next() {
+					t.Fatal("short stream")
+				}
+			}
+			keep := rows.Row()
+			if err := rows.Close(); err != nil {
+				t.Fatalf("Close mid-stream: %v", err)
+			}
+			if got := db.Pool().PinnedFrames(); got != 0 {
+				t.Fatalf("PinnedFrames after mid-stream Close = %d, want 0", got)
+			}
+			for i := 0; i < 3; i++ {
+				if rows.Next() {
+					t.Fatal("Next after Close must return false")
+				}
+			}
+			if err := rows.Close(); err != nil {
+				t.Fatalf("second Close: %v", err)
+			}
+			if err := rows.Err(); err != nil {
+				t.Fatalf("Err after Close: %v", err)
+			}
+			// The row yielded before Close stays valid (materialized).
+			if len(keep) != 2 || keep[0].Kind != engine.ColInt64 {
+				t.Fatalf("retained row corrupted after Close: %v", keep)
+			}
+			// Close before any Next is also fine.
+			rows, err = QueryWith(db, "SELECT id FROM T", m.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rows.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if rows.Next() {
+				t.Fatal("Next on never-advanced closed Rows must return false")
+			}
+			if got := db.Pool().PinnedFrames(); got != 0 {
+				t.Fatalf("PinnedFrames after immediate Close = %d, want 0", got)
+			}
+		})
 	}
 }
 
@@ -389,6 +484,7 @@ func TestParallelAggregateMatchesSerial(t *testing.T) {
 	}
 	serial := ExecOptions{Parallelism: 1}
 	parallel := ExecOptions{Parallelism: 4, ParallelThreshold: 1}
+	rowParallel := ExecOptions{Parallelism: 4, ParallelThreshold: 1, RowPipeline: true}
 	for _, q := range queries {
 		want, err := RunWith(db, q, serial)
 		if err != nil {
@@ -400,6 +496,13 @@ func TestParallelAggregateMatchesSerial(t *testing.T) {
 		}
 		if diff := resultEq(want, got); diff != "" {
 			t.Errorf("parallel %q: %s", q, diff)
+		}
+		rowGot, err := RunWith(db, q, rowParallel)
+		if err != nil {
+			t.Fatalf("row parallel %q: %v", q, err)
+		}
+		if diff := resultEq(want, rowGot); diff != "" {
+			t.Errorf("row parallel %q: %s", q, diff)
 		}
 		ref, err := referenceRun(db, q)
 		if err != nil {

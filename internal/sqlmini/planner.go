@@ -30,6 +30,13 @@ type ExecOptions struct {
 	// aggregate scan goes parallel. 0 means the default (8192). Small
 	// scans are not worth the goroutine and partition setup.
 	ParallelThreshold int64
+	// BatchSize is the row capacity of the chunks the batch executor
+	// moves between operators. 0 means the default (1024).
+	BatchSize int
+	// RowPipeline forces the legacy row-at-a-time operator pipeline
+	// instead of the batch executor. Kept for comparison benchmarks and
+	// the golden-equivalence suite; results are identical either way.
+	RowPipeline bool
 }
 
 const defaultParallelThreshold = 8192
@@ -46,6 +53,13 @@ func (o ExecOptions) threshold() int64 {
 		return o.ParallelThreshold
 	}
 	return defaultParallelThreshold
+}
+
+func (o ExecOptions) batchSize() int {
+	if o.BatchSize > 0 {
+		return o.BatchSize
+	}
+	return defaultBatchSize
 }
 
 // keyBounds is the key range extracted from sargable WHERE conjuncts.
@@ -258,6 +272,7 @@ type compiledStmt struct {
 	columns   []string
 	where     compiled // residual predicate (after pushdown), may be nil
 	accs      []*accumulator
+	used      []bool // schema columns referenced anywhere in the plan
 	aggregate bool
 }
 
@@ -265,7 +280,7 @@ type compiledStmt struct {
 // schema, registering aggregate accumulators. residualWhere replaces
 // stmt.Where (the planner strips pushed-down conjuncts first).
 func compileStmt(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, residualWhere Expr) (*compiledStmt, error) {
-	cc := &compileCtx{db: db, schema: tbl.Schema()}
+	cc := &compileCtx{db: db, schema: tbl.Schema(), used: make([]bool, len(tbl.Schema().Columns))}
 	cs := &compiledStmt{}
 	for _, it := range stmt.Items {
 		cs.aggregate = cs.aggregate || hasAggregate(it.Expr)
@@ -296,10 +311,13 @@ func compileStmt(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, residualWhe
 		cs.where = w
 	}
 	cs.accs = cc.accs
+	cs.used = cc.used
 	return cs, nil
 }
 
-// buildPipeline lowers a statement into an operator tree.
+// buildPipeline lowers a statement into an operator tree: the batch
+// executor by default, or the legacy row-at-a-time pipeline when
+// ExecOptions.RowPipeline is set.
 func buildPipeline(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, opts ExecOptions) (*pipeline, error) {
 	bounds := unboundedKeys()
 	residual := stmt.Where
@@ -316,10 +334,63 @@ func buildPipeline(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, opts Exec
 		lo, hi = 1, 0 // empty range: the scan yields nothing
 	}
 
-	var root operator
+	if opts.RowPipeline {
+		return buildRowPipeline(db, tbl, stmt, residual, cs, lo, hi, bounds.empty, opts), nil
+	}
+
+	var root batchOperator
 	if cs.aggregate && !bounds.empty {
-		if par, ok := planParallelAgg(db, tbl, stmt, residual, cs, lo, hi, opts); ok {
-			root = par
+		if plo, phi, workers, ok := parallelAggSpan(tbl, lo, hi, opts); ok {
+			root = &batchParallelAggOp{
+				tbl:       tbl,
+				lo:        plo,
+				hi:        phi,
+				workers:   workers,
+				batchSize: opts.batchSize(),
+				need:      cs.used,
+				accs:      cs.accs,
+				newWorker: newWorkerFunc(db, tbl, stmt, residual),
+			}
+		}
+	}
+	if root == nil {
+		root = &batchScanOp{tbl: tbl, lo: lo, hi: hi, need: cs.used}
+		if cs.where != nil {
+			root = &batchFilterOp{child: root, pred: cs.where}
+		}
+		if cs.aggregate {
+			root = &batchAggOp{child: root, accs: cs.accs}
+		}
+	}
+	root = &batchProjectOp{child: root, items: cs.items}
+	// TOP n on an aggregate plan is vacuous (exactly one row is emitted,
+	// and the parser guarantees n >= 1); omitting the limit keeps its
+	// downward cap clip from shrinking the aggregate's scan batches.
+	if stmt.Top > 0 && !cs.aggregate {
+		root = &batchLimitOp{child: root, n: stmt.Top, clip: cs.where == nil}
+	}
+	drain := &batchDrainOp{
+		root:      root,
+		batchSize: opts.batchSize(),
+		b:         newBatch(len(tbl.Schema().Columns)),
+	}
+	return &pipeline{root: drain, columns: cs.columns}, nil
+}
+
+// buildRowPipeline assembles the legacy row-at-a-time operator tree.
+func buildRowPipeline(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, residual Expr,
+	cs *compiledStmt, lo, hi int64, empty bool, opts ExecOptions) *pipeline {
+	var root operator
+	if cs.aggregate && !empty {
+		if plo, phi, workers, ok := parallelAggSpan(tbl, lo, hi, opts); ok {
+			root = &parallelAggOp{
+				tbl:       tbl,
+				lo:        plo,
+				hi:        phi,
+				workers:   workers,
+				accs:      cs.accs,
+				newWorker: newWorkerFunc(db, tbl, stmt, residual),
+			}
 		}
 	}
 	if root == nil {
@@ -335,21 +406,33 @@ func buildPipeline(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, opts Exec
 	if stmt.Top > 0 {
 		root = &limitOp{child: root, n: stmt.Top}
 	}
-	return &pipeline{root: root, columns: cs.columns}, nil
+	return &pipeline{root: root, columns: cs.columns}
 }
 
-// planParallelAgg decides whether an aggregate scan is worth running in
-// parallel and builds the operator if so. The scanned key range is
-// clipped to the keys actually present so the partitions cover real data.
-func planParallelAgg(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, residual Expr,
-	cs *compiledStmt, lo, hi int64, opts ExecOptions) (operator, bool) {
+// newWorkerFunc builds the per-worker compile closure of a parallel
+// aggregate scan. Compiled expressions are stateful (argument buffers,
+// batch scratch vectors), so every worker compiles its own copies.
+func newWorkerFunc(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, residual Expr) func() (workerState, error) {
+	return func() (workerState, error) {
+		ws, err := compileStmt(db, tbl, stmt, residual)
+		if err != nil {
+			return workerState{}, err
+		}
+		return workerState{pred: ws.where, accs: ws.accs}, nil
+	}
+}
+
+// parallelAggSpan decides whether an aggregate scan is worth running in
+// parallel, returning the key range clipped to the keys actually present
+// so the partitions cover real data.
+func parallelAggSpan(tbl *engine.Table, lo, hi int64, opts ExecOptions) (int64, int64, int, bool) {
 	workers := opts.workers()
 	if workers < 2 || tbl.Rows() < opts.threshold() {
-		return nil, false
+		return 0, 0, 0, false
 	}
 	minKey, maxKey, ok, err := tbl.KeyBounds()
 	if err != nil || !ok {
-		return nil, false
+		return 0, 0, 0, false
 	}
 	if minKey > lo {
 		lo = minKey
@@ -358,25 +441,12 @@ func planParallelAgg(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, residua
 		hi = maxKey
 	}
 	if lo > hi {
-		return nil, false
+		return 0, 0, 0, false
 	}
 	// A narrow pushed-down range caps the rows at span+1 no matter how
 	// big the table is — not worth the partition and goroutine setup.
 	if span := uint64(hi) - uint64(lo); span != ^uint64(0) && span+1 < uint64(opts.threshold()) {
-		return nil, false
+		return 0, 0, 0, false
 	}
-	return &parallelAggOp{
-		tbl:     tbl,
-		lo:      lo,
-		hi:      hi,
-		workers: workers,
-		accs:    cs.accs,
-		newWorker: func() (workerState, error) {
-			ws, err := compileStmt(db, tbl, stmt, residual)
-			if err != nil {
-				return workerState{}, err
-			}
-			return workerState{pred: ws.where, accs: ws.accs}, nil
-		},
-	}, true
+	return lo, hi, workers, true
 }

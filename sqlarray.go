@@ -12,14 +12,18 @@
 //     clustered B+tree tables, out-of-page blob store with partial
 //     reads, a CLR-like UDF boundary) and a SQL subset that runs the
 //     paper's queries verbatim;
-//   - a Volcano-style streaming executor: SELECT statements are lowered
-//     into an Open/Next/Close operator pipeline (scan → filter →
-//     aggregate → project → limit) over B+tree cursors. Sargable WHERE
-//     conjuncts on the clustered key (id = k, id >= lo AND id <= hi) are
-//     pushed into the scan as key ranges, TOP n / LIMIT n stops the scan
-//     after n rows, and large aggregate scans partition the key space
-//     across goroutines. Query materializes results; QueryRows streams
-//     them;
+//   - a batch-at-a-time streaming executor: SELECT statements are
+//     lowered into an operator pipeline (scan → filter → aggregate →
+//     project → limit) that moves column-major batches of ~1024 rows
+//     between operators — the scan fills batches straight off B+tree
+//     leaves, filters compact them in place through selection vectors,
+//     and aggregates consume whole batches. Sargable WHERE conjuncts on
+//     the clustered key (id = k, id >= lo AND id <= hi) are pushed into
+//     the scan as key ranges, TOP n / LIMIT n clips the scan's batch
+//     budget so it stops after n rows, and large aggregate scans
+//     partition the key space across goroutines. Query materializes
+//     results; QueryRows streams them; ExecOptions tunes batch size,
+//     parallelism, or forces the row-at-a-time pipeline;
 //   - the T-SQL function surface (FloatArray.Item_1,
 //     FloatArrayMax.Subarray, IntArray.Vector_2, ...);
 //   - math substrates standing in for LAPACK and FFTW, plus the three
