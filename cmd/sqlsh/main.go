@@ -16,8 +16,10 @@ import (
 	"strings"
 
 	"sqlarray"
+	"sqlarray/internal/blob"
 	"sqlarray/internal/core"
 	"sqlarray/internal/engine"
+	"sqlarray/internal/pages"
 )
 
 func main() {
@@ -28,9 +30,12 @@ func main() {
 	}
 	cols := sqlarray.ArrayColumns{}
 	fmt.Println(`sqlarray shell — one SELECT per line; \col <name> <schema> maps a column for
-subscript sugar; \q quits. A table "demo"(id BIGINT, v VARBINARY short float
-5-vector) is preloaded with 10 rows.`)
+subscript sugar; .stats prints the last query's buffer-pool and blob I/O;
+\q quits. A table "demo"(id BIGINT, v VARBINARY short float 5-vector) is
+preloaded with 10 rows.`)
 	sc := bufio.NewScanner(os.Stdin)
+	var last queryStats
+	haveLast := false
 	for {
 		fmt.Print("sql> ")
 		if !sc.Scan() {
@@ -42,6 +47,13 @@ subscript sugar; \q quits. A table "demo"(id BIGINT, v VARBINARY short float
 			continue
 		case line == `\q` || line == "exit" || line == "quit":
 			return
+		case line == ".stats" || line == `\stats`:
+			if !haveLast {
+				fmt.Println("no query has run yet")
+				continue
+			}
+			last.print()
+			continue
 		case strings.HasPrefix(line, `\col `):
 			parts := strings.Fields(line)
 			if len(parts) != 3 {
@@ -52,13 +64,58 @@ subscript sugar; \q quits. A table "demo"(id BIGINT, v VARBINARY short float
 			fmt.Printf("mapped %s -> %s\n", parts[1], parts[2])
 			continue
 		}
+		p0, b0 := db.Pool().Stats(), db.Blobs().Stats()
 		rows, err := db.QueryArrayRows(line, cols)
 		if err != nil {
 			fmt.Println("error:", err)
 			continue
 		}
 		printRows(rows)
+		last = diffStats(p0, b0, db.Pool().Stats(), db.Blobs().Stats())
+		haveLast = true
 	}
+}
+
+// queryStats is the per-query delta of the pool and blob counters, the
+// interactive window onto the subarray I/O pushdown: a sliced read of a
+// big array shows chunk reads collapsing while the hit ratio climbs.
+type queryStats struct {
+	logical, physical, bytesRead    uint64
+	dirReads, chunkReads, blobBytes uint64
+	streamCalls                     uint64
+}
+
+func diffStats(p0 pages.Stats, b0 blob.Stats, p1 pages.Stats, b1 blob.Stats) queryStats {
+	return queryStats{
+		logical:     p1.LogicalReads - p0.LogicalReads,
+		physical:    p1.PhysicalReads - p0.PhysicalReads,
+		bytesRead:   p1.BytesRead - p0.BytesRead,
+		dirReads:    b1.DirectoryReads - b0.DirectoryReads,
+		chunkReads:  b1.ChunkReads - b0.ChunkReads,
+		blobBytes:   b1.BytesRead - b0.BytesRead,
+		streamCalls: b1.StreamCalls - b0.StreamCalls,
+	}
+}
+
+func (q queryStats) print() {
+	hit := 100.0
+	if q.logical > 0 {
+		hit = 100 * (1 - float64(q.physical)/float64(q.logical))
+	}
+	fmt.Printf("buffer pool: %d logical reads, %d physical (%.1f%% hit ratio), %s from disk\n",
+		q.logical, q.physical, hit, fmtBytes(q.bytesRead))
+	fmt.Printf("blob store:  %d chunk reads, %d directory reads, %s of blob data, %d stream calls\n",
+		q.chunkReads, q.dirReads, fmtBytes(q.blobBytes), q.streamCalls)
+}
+
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f kB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
 }
 
 func createDemoTable(db *sqlarray.Database) error {

@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"sqlarray/internal/pages"
 )
@@ -60,8 +61,8 @@ func DecodeRef(b []byte) (Ref, error) {
 	}, nil
 }
 
-// Stats counts blob-store I/O at the chunk granularity, allowing the
-// benchmarks to show how partial reads touch fewer pages.
+// Stats is a snapshot of blob-store I/O at the chunk granularity,
+// allowing the benchmarks to show how partial reads touch fewer pages.
 type Stats struct {
 	DirectoryReads uint64
 	ChunkReads     uint64
@@ -71,20 +72,49 @@ type Stats struct {
 	StreamCalls    uint64 // stream-wrapper invocations (the CLR-boundary analogue)
 }
 
-// Store reads and writes blobs over a buffer pool.
+// counters is the live, atomic form of Stats. The store is read from
+// parallel scan workers concurrently, so plain-field increments would be
+// a data race (and were, before this was converted).
+type counters struct {
+	directoryReads atomic.Uint64
+	chunkReads     atomic.Uint64
+	bytesRead      atomic.Uint64
+	chunksWritten  atomic.Uint64
+	bytesWritten   atomic.Uint64
+	streamCalls    atomic.Uint64
+}
+
+// Store reads and writes blobs over a buffer pool. It is safe for
+// concurrent use to the same degree the underlying pool is.
 type Store struct {
 	bp    *pages.BufferPool
-	stats Stats
+	stats counters
 }
 
 // NewStore creates a blob store on bp.
 func NewStore(bp *pages.BufferPool) *Store { return &Store{bp: bp} }
 
-// Stats returns a snapshot of the store counters.
-func (s *Store) Stats() Stats { return s.stats }
+// Stats returns a snapshot of the store counters. Lock-free.
+func (s *Store) Stats() Stats {
+	return Stats{
+		DirectoryReads: s.stats.directoryReads.Load(),
+		ChunkReads:     s.stats.chunkReads.Load(),
+		BytesRead:      s.stats.bytesRead.Load(),
+		ChunksWritten:  s.stats.chunksWritten.Load(),
+		BytesWritten:   s.stats.bytesWritten.Load(),
+		StreamCalls:    s.stats.streamCalls.Load(),
+	}
+}
 
 // ResetStats zeroes the counters.
-func (s *Store) ResetStats() { s.stats = Stats{} }
+func (s *Store) ResetStats() {
+	s.stats.directoryReads.Store(0)
+	s.stats.chunkReads.Store(0)
+	s.stats.bytesRead.Store(0)
+	s.stats.chunksWritten.Store(0)
+	s.stats.bytesWritten.Store(0)
+	s.stats.streamCalls.Store(0)
+}
 
 // Write stores data as a new blob and returns its Ref.
 func (s *Store) Write(data []byte) (Ref, error) {
@@ -106,8 +136,8 @@ func (s *Store) Write(data []byte) (Ref, error) {
 		f.Page.SetUsed(n)
 		chunkIDs = append(chunkIDs, f.Page.ID)
 		s.bp.Unpin(f, true)
-		s.stats.ChunksWritten++
-		s.stats.BytesWritten += uint64(n)
+		s.stats.chunksWritten.Add(1)
+		s.stats.bytesWritten.Add(uint64(n))
 	}
 	root, err := s.writeDirectory(chunkIDs)
 	if err != nil {
@@ -171,7 +201,7 @@ func (s *Store) chunkIDs(ref Ref) ([]pages.PageID, error) {
 			s.bp.Unpin(f, false)
 			return nil, fmt.Errorf("%w: page %d is not a blob directory", ErrBadRef, id)
 		}
-		s.stats.DirectoryReads++
+		s.stats.directoryReads.Add(1)
 		used := f.Page.Used()
 		body := f.Page.Body()
 		for i := 0; i < used; i += 4 {
@@ -230,7 +260,7 @@ func (s *Store) ReadAt(ref Ref, dst []byte, off int64) error {
 			s.bp.Unpin(f, false)
 			return fmt.Errorf("%w: page %d is not a blob chunk", ErrBadRef, ids[c])
 		}
-		s.stats.ChunkReads++
+		s.stats.chunkReads.Add(1)
 		lo := 0
 		if c == first {
 			lo = int(off % ChunkSize)
@@ -239,7 +269,7 @@ func (s *Store) ReadAt(ref Ref, dst []byte, off int64) error {
 		body := f.Page.Body()[lo:hi]
 		n := copy(dst[w:], body)
 		w += n
-		s.stats.BytesRead += uint64(n)
+		s.stats.bytesRead.Add(uint64(n))
 		s.bp.Unpin(f, false)
 	}
 	if w != len(dst) {
@@ -272,7 +302,7 @@ func (s *Store) ReadRuns(ref Ref, dst []byte, runs []Run) error {
 			if err != nil {
 				return err
 			}
-			s.stats.ChunkReads++
+			s.stats.chunkReads.Add(1)
 			lo := 0
 			if c == first {
 				lo = r.SrcOff % ChunkSize
@@ -285,7 +315,7 @@ func (s *Store) ReadRuns(ref Ref, dst []byte, runs []Run) error {
 			}
 			n := copy(dst[w:], body)
 			w += n
-			s.stats.BytesRead += uint64(n)
+			s.stats.bytesRead.Add(uint64(n))
 			s.bp.Unpin(f, false)
 		}
 	}

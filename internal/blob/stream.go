@@ -29,7 +29,7 @@ func (st *Stream) Len() int64 { return st.ref.Length }
 
 // Read implements io.Reader.
 func (st *Stream) Read(p []byte) (int, error) {
-	st.store.stats.StreamCalls++
+	st.store.stats.streamCalls.Add(1)
 	if st.pos >= st.ref.Length {
 		return 0, io.EOF
 	}
@@ -46,7 +46,7 @@ func (st *Stream) Read(p []byte) (int, error) {
 
 // ReadAt implements io.ReaderAt.
 func (st *Stream) ReadAt(p []byte, off int64) (int, error) {
-	st.store.stats.StreamCalls++
+	st.store.stats.streamCalls.Add(1)
 	if off >= st.ref.Length {
 		return 0, io.EOF
 	}
@@ -67,7 +67,7 @@ func (st *Stream) ReadAt(p []byte, off int64) (int, error) {
 
 // Seek implements io.Seeker.
 func (st *Stream) Seek(offset int64, whence int) (int64, error) {
-	st.store.stats.StreamCalls++
+	st.store.stats.streamCalls.Add(1)
 	var abs int64
 	switch whence {
 	case io.SeekStart:

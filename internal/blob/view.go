@@ -1,0 +1,273 @@
+// Pinned, zero-copy read paths over the blob store.
+//
+// The seed store's only read primitives (ReadAll / ReadAt / ReadRuns)
+// copy every byte out of the buffer pool into caller memory — fine for
+// whole-array materialization, wasteful when the consumer immediately
+// decodes or re-copies the bytes. The types here instead hand the caller
+// the chunk pages' own body slices, pinned in the pool for the lifetime
+// of the view:
+//
+//   - View pins every chunk of a blob (whole-blob consumers; a
+//     single-chunk blob exposes its full payload as one zero-copy
+//     slice via Contiguous).
+//   - RunsView pins only the chunks a run list touches (subarray-shaped
+//     consumers; each run is visited as page-resident segments).
+//
+// Both must be Released exactly like a Frame must be Unpinned: a leaked
+// view holds its frames pinned, which blocks eviction and
+// DropCleanBuffers — the golden suites assert PinnedFrames() == 0 after
+// every query for this reason. Release is idempotent and returns the
+// frames to their shard's LRU, making them evictable again.
+package blob
+
+import (
+	"fmt"
+	"sort"
+
+	"sqlarray/internal/pages"
+)
+
+// View is a whole blob pinned in the buffer pool, exposing the chunk
+// page bodies without copying. Chunk i holds bytes
+// [i*ChunkSize, min((i+1)*ChunkSize, Len())).
+type View struct {
+	s        *Store
+	ref      Ref
+	frames   []*pages.Frame
+	bodies   [][]byte
+	released bool
+}
+
+// View pins all chunk pages of a blob and returns the zero-copy view.
+// The caller must Release it. Pinning a blob holds NumChunks(Len())
+// frames, so very large blobs should prefer RunsView or the copying
+// reads; a null ref yields an empty view.
+func (s *Store) View(ref Ref) (*View, error) {
+	v := &View{s: s, ref: ref}
+	if ref.IsNull() {
+		return v, nil
+	}
+	ids, err := s.chunkIDs(ref)
+	if err != nil {
+		return nil, err
+	}
+	v.frames = make([]*pages.Frame, 0, len(ids))
+	v.bodies = make([][]byte, 0, len(ids))
+	for _, id := range ids {
+		f, err := s.bp.Fetch(id)
+		if err != nil {
+			v.Release()
+			return nil, err
+		}
+		if f.Page.Type() != pages.TypeBlobData {
+			s.bp.Unpin(f, false)
+			v.Release()
+			return nil, fmt.Errorf("%w: page %d is not a blob chunk", ErrBadRef, id)
+		}
+		used := f.Page.Used()
+		s.stats.chunkReads.Add(1)
+		s.stats.bytesRead.Add(uint64(used))
+		v.frames = append(v.frames, f)
+		v.bodies = append(v.bodies, f.Page.Body()[:used])
+	}
+	return v, nil
+}
+
+// Len returns the blob length in bytes.
+func (v *View) Len() int64 { return v.ref.Length }
+
+// NumChunks returns how many chunk pages the view pins.
+func (v *View) NumChunks() int { return len(v.frames) }
+
+// Chunk returns chunk i's payload bytes, aliasing the pinned page body.
+// Valid until Release.
+func (v *View) Chunk(i int) []byte { return v.bodies[i] }
+
+// Contiguous returns the whole payload as one slice without copying,
+// which is possible exactly when the blob occupies a single chunk page
+// (<= ChunkSize bytes). Larger blobs return ok=false — the copying
+// fallback (AppendTo / ReadAll) applies.
+func (v *View) Contiguous() ([]byte, bool) {
+	if len(v.bodies) == 1 {
+		return v.bodies[0], true
+	}
+	return nil, false
+}
+
+// AppendTo appends the whole payload to dst (copying from the pinned
+// bodies — no second directory walk or chunk fetch).
+func (v *View) AppendTo(dst []byte) []byte {
+	for _, b := range v.bodies {
+		dst = append(dst, b...)
+	}
+	return dst
+}
+
+// ReadAt copies blob bytes [off, off+len(dst)) out of the pinned bodies.
+func (v *View) ReadAt(dst []byte, off int64) error {
+	if off < 0 || off+int64(len(dst)) > v.ref.Length {
+		return fmt.Errorf("%w: [%d,%d) of %d", ErrShortRead, off, off+int64(len(dst)), v.ref.Length)
+	}
+	w := 0
+	for c := int(off / ChunkSize); w < len(dst) && c < len(v.bodies); c++ {
+		lo := 0
+		if c == int(off/ChunkSize) {
+			lo = int(off % ChunkSize)
+		}
+		w += copy(dst[w:], v.bodies[c][lo:])
+	}
+	if w != len(dst) {
+		return fmt.Errorf("%w: wanted %d bytes, view yielded %d", ErrShortRead, len(dst), w)
+	}
+	return nil
+}
+
+// Release unpins every chunk page, returning the frames to the LRU.
+// Idempotent; the view must not be used afterward.
+func (v *View) Release() {
+	if v.released {
+		return
+	}
+	v.released = true
+	for _, f := range v.frames {
+		v.s.bp.Unpin(f, false)
+	}
+	v.frames = nil
+	v.bodies = nil
+}
+
+// RunsView is the pinned form of ReadRuns: only the chunk pages the run
+// list touches are fetched (each exactly once, even when several runs
+// land on the same chunk), and the run bytes are exposed as segments of
+// the pinned page bodies instead of being copied out.
+type RunsView struct {
+	s        *Store
+	ref      Ref
+	runs     []Run
+	chunkIdx []int // sorted, deduped chunk indices the runs touch
+	frames   []*pages.Frame
+	bodies   [][]byte // parallel to chunkIdx
+	released bool
+}
+
+// ReadRunsPinned validates runs against the blob, pins the touched
+// chunks and returns the view. The caller must Release it. The runs
+// slice is retained (not copied); it must not be mutated while the view
+// is live.
+func (s *Store) ReadRunsPinned(ref Ref, runs []Run) (*RunsView, error) {
+	rv := &RunsView{s: s, ref: ref, runs: runs}
+	if len(runs) == 0 {
+		return rv, nil
+	}
+	if ref.IsNull() {
+		return nil, fmt.Errorf("%w: null blob", ErrBadRef)
+	}
+	// Collect the touched chunk indices: append each run's chunk range,
+	// then sort and compact. SubarrayPlan emits runs in ascending source
+	// order, so the sort is usually a no-op pass over an already-ordered
+	// slice (cheaper than a map for the stencil-sized run counts here).
+	idx := make([]int, 0, len(runs)+4)
+	for _, r := range runs {
+		if r.Len <= 0 {
+			return nil, fmt.Errorf("%w: run length %d", ErrShortRead, r.Len)
+		}
+		if r.SrcOff < 0 || int64(r.SrcOff+r.Len) > ref.Length {
+			return nil, fmt.Errorf("%w: run [%d,%d) of %d", ErrShortRead, r.SrcOff, r.SrcOff+r.Len, ref.Length)
+		}
+		for c := r.SrcOff / ChunkSize; c <= (r.SrcOff+r.Len-1)/ChunkSize; c++ {
+			idx = append(idx, c)
+		}
+	}
+	sort.Ints(idx)
+	rv.chunkIdx = idx[:0]
+	for i, c := range idx {
+		if i == 0 || c != idx[i-1] {
+			rv.chunkIdx = append(rv.chunkIdx, c)
+		}
+	}
+	ids, err := s.chunkIDs(ref)
+	if err != nil {
+		return nil, err
+	}
+	rv.frames = make([]*pages.Frame, 0, len(rv.chunkIdx))
+	rv.bodies = make([][]byte, 0, len(rv.chunkIdx))
+	for _, c := range rv.chunkIdx {
+		if c >= len(ids) {
+			rv.Release()
+			return nil, fmt.Errorf("%w: chunk %d of %d", ErrBadRef, c, len(ids))
+		}
+		f, err := s.bp.Fetch(ids[c])
+		if err != nil {
+			rv.Release()
+			return nil, err
+		}
+		if f.Page.Type() != pages.TypeBlobData {
+			s.bp.Unpin(f, false)
+			rv.Release()
+			return nil, fmt.Errorf("%w: page %d is not a blob chunk", ErrBadRef, ids[c])
+		}
+		s.stats.chunkReads.Add(1)
+		rv.frames = append(rv.frames, f)
+		rv.bodies = append(rv.bodies, f.Page.Body()[:f.Page.Used()])
+	}
+	return rv, nil
+}
+
+// body returns the pinned body of absolute chunk index c.
+func (rv *RunsView) body(c int) []byte {
+	i := sort.SearchInts(rv.chunkIdx, c)
+	return rv.bodies[i]
+}
+
+// NumRuns returns the run count.
+func (rv *RunsView) NumRuns() int { return len(rv.runs) }
+
+// PinnedChunks returns how many distinct chunk pages the view pins.
+func (rv *RunsView) PinnedChunks() int { return len(rv.frames) }
+
+// VisitRun invokes fn for each page-resident segment of run i in source
+// order. dstOff is the segment's absolute destination offset (the run's
+// DstOff plus the progress within the run); seg aliases the pinned page
+// body and is valid until Release. A run contained in one chunk — the
+// common case for stencil reads — is visited exactly once.
+func (rv *RunsView) VisitRun(i int, fn func(dstOff int, seg []byte)) {
+	r := rv.runs[i]
+	read := 0
+	for c := r.SrcOff / ChunkSize; read < r.Len; c++ {
+		body := rv.body(c)
+		lo := 0
+		if c == r.SrcOff/ChunkSize {
+			lo = r.SrcOff % ChunkSize
+		}
+		seg := body[lo:]
+		if rem := r.Len - read; len(seg) > rem {
+			seg = seg[:rem]
+		}
+		fn(r.DstOff+read, seg)
+		read += len(seg)
+		rv.s.stats.bytesRead.Add(uint64(len(seg)))
+	}
+}
+
+// CopyTo scatters every run into dst, equivalent to ReadRuns but from
+// the already-pinned bodies.
+func (rv *RunsView) CopyTo(dst []byte) {
+	for i := range rv.runs {
+		rv.VisitRun(i, func(dstOff int, seg []byte) {
+			copy(dst[dstOff:], seg)
+		})
+	}
+}
+
+// Release unpins the touched chunk pages. Idempotent.
+func (rv *RunsView) Release() {
+	if rv.released {
+		return
+	}
+	rv.released = true
+	for _, f := range rv.frames {
+		rv.s.bp.Unpin(f, false)
+	}
+	rv.frames = nil
+	rv.bodies = nil
+}

@@ -156,32 +156,61 @@ func (h *Header) AppendEncode(dst []byte) []byte {
 	return dst
 }
 
+// HeaderSizeFromPrefix returns the full encoded header size implied by
+// the first bytes of a serialized array, without requiring the whole
+// header (let alone the payload) to be present. Callers reading an
+// out-of-page array incrementally use it to size the second read: a
+// short-class prefix answers after 4 bytes, a max-class prefix after the
+// fixed 16 (the rank field). The result is the byte count DecodeHeader
+// would consume.
+func HeaderSizeFromPrefix(b []byte) (int, error) {
+	if len(b) < 4 {
+		return 0, fmt.Errorf("%w: %d bytes is shorter than any header", ErrBadHeader, len(b))
+	}
+	if b[0] != Magic {
+		return 0, fmt.Errorf("%w: bad magic byte 0x%02x", ErrBadHeader, b[0])
+	}
+	if ver := b[1] >> 4; ver != FormatVersion {
+		return 0, fmt.Errorf("%w: unsupported format version %d", ErrBadHeader, ver)
+	}
+	if StorageClass(b[1]&classFlagMask) == Short {
+		return ShortHeaderSize, nil
+	}
+	if len(b) < MaxFixedHeaderSize {
+		return 0, fmt.Errorf("%w: max header prefix needs %d bytes, have %d",
+			ErrBadHeader, MaxFixedHeaderSize, len(b))
+	}
+	rank := binary.LittleEndian.Uint32(b[4:8])
+	const sanityRank = 1 << 20
+	if rank > sanityRank {
+		return 0, fmt.Errorf("%w: implausible rank %d", ErrRank, rank)
+	}
+	return MaxFixedHeaderSize + 4*int(rank), nil
+}
+
 // DecodeHeader parses an array header from the front of b, returning the
 // header and the number of header bytes consumed. It validates structural
 // invariants (magic byte, class limits, count consistency) but does not
 // require the payload to be present in b; use Wrap for full validation.
 func DecodeHeader(b []byte) (Header, int, error) {
-	if len(b) < 4 {
-		return Header{}, 0, fmt.Errorf("%w: %d bytes is shorter than any header", ErrBadHeader, len(b))
-	}
-	if b[0] != Magic {
-		return Header{}, 0, fmt.Errorf("%w: bad magic byte 0x%02x", ErrBadHeader, b[0])
+	// HeaderSizeFromPrefix owns the prefix checks (magic, version, rank
+	// sanity) and the size arithmetic, so incremental readers sizing a
+	// second read and this full decoder can never disagree.
+	n, err := HeaderSizeFromPrefix(b)
+	if err != nil {
+		return Header{}, 0, err
 	}
 	class := StorageClass(b[1] & classFlagMask)
-	if ver := b[1] >> 4; ver != FormatVersion {
-		return Header{}, 0, fmt.Errorf("%w: unsupported format version %d", ErrBadHeader, ver)
+	if len(b) < n {
+		return Header{}, 0, fmt.Errorf("%w: %s header needs %d bytes, have %d",
+			ErrBadHeader, class, n, len(b))
 	}
 	et := ElemType(b[2])
 	if !et.Valid() {
 		return Header{}, 0, fmt.Errorf("%w: invalid element type %d", ErrBadHeader, b[2])
 	}
 	var h Header
-	var n int
 	if class == Short {
-		if len(b) < ShortHeaderSize {
-			return Header{}, 0, fmt.Errorf("%w: short header needs %d bytes, have %d",
-				ErrBadHeader, ShortHeaderSize, len(b))
-		}
 		rank := int(b[3])
 		if rank > MaxShortRank {
 			return Header{}, 0, fmt.Errorf("%w: short rank %d > %d", ErrRank, rank, MaxShortRank)
@@ -195,23 +224,8 @@ func DecodeHeader(b []byte) (Header, int, error) {
 			return Header{}, 0, fmt.Errorf("%w: declared count %d != dim product %d",
 				ErrBadHeader, declared, h.Count())
 		}
-		n = ShortHeaderSize
 	} else {
-		if len(b) < MaxFixedHeaderSize {
-			return Header{}, 0, fmt.Errorf("%w: max header needs at least %d bytes, have %d",
-				ErrBadHeader, MaxFixedHeaderSize, len(b))
-		}
-		rank64 := binary.LittleEndian.Uint32(b[4:8])
-		const sanityRank = 1 << 20 // a header this large is certainly corrupt
-		if rank64 > sanityRank {
-			return Header{}, 0, fmt.Errorf("%w: implausible rank %d", ErrRank, rank64)
-		}
-		rank := int(rank64)
-		n = MaxFixedHeaderSize + 4*rank
-		if len(b) < n {
-			return Header{}, 0, fmt.Errorf("%w: max header with %d dims needs %d bytes, have %d",
-				ErrBadHeader, rank, n, len(b))
-		}
+		rank := (n - MaxFixedHeaderSize) / 4
 		h = Header{Class: Max, Elem: et, Dims: make([]int, rank)}
 		for i := range h.Dims {
 			h.Dims[i] = int(binary.LittleEndian.Uint32(b[MaxFixedHeaderSize+4*i:]))

@@ -1,0 +1,209 @@
+package engine
+
+import (
+	"fmt"
+
+	"sqlarray/internal/blob"
+	"sqlarray/internal/core"
+)
+
+// This file is the engine half of the subarray I/O pushdown: MAX column
+// values are 12-byte blob refs on the row, and the accessors here read
+// only the chunk pages a consumer actually needs — the property the
+// paper attributes to the SqlBytes stream wrapper ("supports reading
+// only parts of the binary data if the whole array is not required",
+// §3.3) — or hand back pinned, zero-copy payload bytes for blobs small
+// enough to live on a single chunk page.
+
+// BlobPins owns the pinned zero-copy blob views a consumer accumulates
+// while decoding MAX values. Whoever drives the decode (a batch, a
+// cursor loop, a test) must Release the set when the decoded bytes are
+// no longer referenced; until then the backing chunk pages stay pinned
+// in the buffer pool and cannot be evicted. Release is idempotent. The
+// zero value is ready to use.
+type BlobPins struct {
+	views []*blob.View
+}
+
+// Held returns how many pinned views the set currently owns.
+func (p *BlobPins) Held() int { return len(p.views) }
+
+// Release unpins every held view, returning their frames to the pool's
+// LRU, and empties the set for reuse.
+func (p *BlobPins) Release() {
+	for _, v := range p.views {
+		v.Release()
+	}
+	p.views = p.views[:0]
+}
+
+func (p *BlobPins) add(v *blob.View) { p.views = append(p.views, v) }
+
+// resolvePinFraction bounds how much of the buffer pool one BlobPins
+// set may hold pinned through zero-copy resolves: once a set holds
+// capacity/resolvePinFraction frames, further resolves fall back to the
+// copying read. Without the cap, a single 1024-row batch of single-chunk
+// MAX values could pin 1024 frames and exhaust a lock stripe of a
+// legally sized small pool.
+const resolvePinFraction = 4
+
+// ResolveMax materializes a VARBINARY(MAX) column value (the 12-byte
+// ref RowView.Col yields) into the array payload bytes.
+//
+// When the blob fits a single chunk page, pins is non-nil and the set
+// is under its pin budget, the returned slice aliases the pinned page
+// body — zero copies; ownership of the pin transfers to pins and the
+// bytes are valid until pins.Release(). Multi-chunk blobs, a nil pins,
+// or an exhausted budget fall back to the copying read, because an
+// array payload must be contiguous and chunk pages are not (and because
+// pinning must never wedge the pool). A null ref resolves to nil.
+func (t *Table) ResolveMax(refBytes []byte, pins *BlobPins) ([]byte, error) {
+	ref, err := blob.DecodeRef(refBytes)
+	if err != nil {
+		return nil, err
+	}
+	if ref.IsNull() {
+		return nil, nil
+	}
+	if pins != nil && blob.NumChunks(ref.Length) == 1 &&
+		pins.Held() < t.db.bp.Capacity()/resolvePinFraction {
+		v, err := t.db.blobs.View(ref)
+		if err != nil {
+			return nil, err
+		}
+		if b, ok := v.Contiguous(); ok {
+			pins.add(v)
+			return b, nil
+		}
+		v.Release() // stored length disagreed with chunk count; fall back
+	}
+	return t.db.blobs.ReadAll(ref)
+}
+
+// ViewBlob pins a MAX column value's chunk pages and returns the
+// zero-copy view. The caller must Release it.
+func (t *Table) ViewBlob(refBytes []byte) (*blob.View, error) {
+	ref, err := blob.DecodeRef(refBytes)
+	if err != nil {
+		return nil, err
+	}
+	return t.db.blobs.View(ref)
+}
+
+// ReadBlobRuns performs a batch of partial reads of a MAX column blob,
+// described as byte runs of the stored blob (header offset already
+// applied), sharing one directory walk. This is how core.SubarrayPlan
+// runs reach the blob store without materializing the whole array.
+func (t *Table) ReadBlobRuns(refBytes []byte, dst []byte, runs []blob.Run) error {
+	ref, err := blob.DecodeRef(refBytes)
+	if err != nil {
+		return err
+	}
+	return t.db.blobs.ReadRuns(ref, dst, runs)
+}
+
+// ReadBlobRunsPinned is the zero-copy variant of ReadBlobRuns: only the
+// chunk pages the runs touch are pinned, and the run bytes are visited
+// in place. The caller must Release the view.
+func (t *Table) ReadBlobRunsPinned(refBytes []byte, runs []blob.Run) (*blob.RunsView, error) {
+	ref, err := blob.DecodeRef(refBytes)
+	if err != nil {
+		return nil, err
+	}
+	return t.db.blobs.ReadRunsPinned(ref, runs)
+}
+
+// BlobHeader decodes just the array header of a stored MAX array,
+// touching only the blob's first chunk page (one short partial read for
+// headers up to rank 6; a second for higher-rank dimension lists).
+func (t *Table) BlobHeader(refBytes []byte) (core.Header, int, error) {
+	ref, err := blob.DecodeRef(refBytes)
+	if err != nil {
+		return core.Header{}, 0, err
+	}
+	return t.blobHeader(ref)
+}
+
+// blobHeader is BlobHeader on an already-decoded ref.
+func (t *Table) blobHeader(ref blob.Ref) (core.Header, int, error) {
+	if ref.IsNull() {
+		return core.Header{}, 0, fmt.Errorf("%w: null blob", blob.ErrBadRef)
+	}
+	// One prefix read covers short headers (24 bytes) and max headers up
+	// to rank 6 (16 + 4*6 = 40); only higher-rank max arrays need the
+	// second read.
+	prefixLen := int64(core.MaxFixedHeaderSize + 4*core.MaxShortRank)
+	if prefixLen > ref.Length {
+		prefixLen = ref.Length
+	}
+	buf := make([]byte, prefixLen)
+	if err := t.db.blobs.ReadAt(ref, buf, 0); err != nil {
+		return core.Header{}, 0, err
+	}
+	hs, err := core.HeaderSizeFromPrefix(buf)
+	if err != nil {
+		return core.Header{}, 0, err
+	}
+	if int64(hs) > ref.Length {
+		return core.Header{}, 0, fmt.Errorf("%w: header of %d bytes exceeds blob of %d",
+			blob.ErrBadRef, hs, ref.Length)
+	}
+	if hs > len(buf) {
+		buf = make([]byte, hs)
+		if err := t.db.blobs.ReadAt(ref, buf, 0); err != nil {
+			return core.Header{}, 0, err
+		}
+	}
+	h, n, err := core.DecodeHeader(buf)
+	if err != nil {
+		return core.Header{}, 0, err
+	}
+	return h, n, nil
+}
+
+// BlobSubarray extracts a subarray of a stored MAX array, reading only
+// the header and the chunk pages the subarray's runs touch — the full
+// I/O pushdown of the paper's Subarray-on-max-array case. offset and
+// size follow core.Array.Subarray; collapse drops unit dimensions. The
+// result is a fresh, caller-owned array.
+func (t *Table) BlobSubarray(refBytes []byte, offset, size []int, collapse bool) (*core.Array, error) {
+	ref, err := blob.DecodeRef(refBytes)
+	if err != nil {
+		return nil, err
+	}
+	h, hs, err := t.blobHeader(ref)
+	if err != nil {
+		return nil, err
+	}
+	if int64(h.TotalBytes()) != ref.Length {
+		return nil, fmt.Errorf("%w: header declares %d bytes, blob holds %d",
+			blob.ErrBadRef, h.TotalBytes(), ref.Length)
+	}
+	runs, err := core.SubarrayPlan(h, offset, size)
+	if err != nil {
+		return nil, err
+	}
+	dims := append([]int(nil), size...)
+	if collapse {
+		dims = core.CollapseDims(dims)
+	}
+	out, err := core.NewAuto(h.Elem, dims...)
+	if err != nil {
+		return nil, err
+	}
+	blobRuns := make([]blob.Run, len(runs))
+	for i, r := range runs {
+		blobRuns[i] = blob.Run{SrcOff: r.SrcOff + hs, DstOff: r.DstOff, Len: r.Len}
+	}
+	// Pinned run read rather than ReadRuns: a dense subarray's runs often
+	// share chunk pages (a small corner of a cube lives on one chunk),
+	// and the pinned view fetches each touched chunk exactly once where
+	// ReadRuns would re-fetch per run.
+	rv, err := t.db.blobs.ReadRunsPinned(ref, blobRuns)
+	if err != nil {
+		return nil, err
+	}
+	rv.CopyTo(out.Payload())
+	rv.Release()
+	return out, nil
+}

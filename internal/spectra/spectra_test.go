@@ -428,3 +428,64 @@ func TestStoreRoundtrip(t *testing.T) {
 		t.Error("invalid spectrum must be rejected")
 	}
 }
+
+// TestGetSliceMatchesGetAndReadsFewerChunks checks the ranged read: a
+// narrow wavelength window must reproduce Get's samples exactly while
+// touching fewer blob chunk pages than materializing the full spectrum.
+func TestGetSliceMatchesGetAndReadsFewerChunks(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	db := engine.NewMemDB()
+	st, err := CreateStore(db, "spectra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4000 bins = 32 kB per float column: four chunk pages each.
+	s, err := Synthesize(rng, SynthesisParams{
+		Bins: 4000, LoWave: 3800, HiWave: 9200, Z: 0.05, SNR: 25, LineSeed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ID = 7
+	if err := st.Insert(s); err != nil {
+		t.Fatal(err)
+	}
+
+	db.Blobs().ResetStats()
+	full, err := st.Get(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullChunks := db.Blobs().Stats().ChunkReads
+
+	const lo, hi = 1500, 1600
+	db.Blobs().ResetStats()
+	sl, err := st.GetSlice(7, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sliceChunks := db.Blobs().Stats().ChunkReads
+	if len(sl.Wave) != hi-lo {
+		t.Fatalf("slice length = %d", len(sl.Wave))
+	}
+	for i := 0; i < hi-lo; i++ {
+		if sl.Wave[i] != full.Wave[lo+i] || sl.Flux[i] != full.Flux[lo+i] ||
+			sl.Err[i] != full.Err[lo+i] || sl.Flags[i] != full.Flags[lo+i] {
+			t.Fatalf("bin %d mismatch", i)
+		}
+	}
+	if sliceChunks >= fullChunks {
+		t.Errorf("GetSlice touched %d chunks, Get touched %d — pushdown not effective",
+			sliceChunks, fullChunks)
+	}
+	if got := db.Pool().PinnedFrames(); got != 0 {
+		t.Errorf("PinnedFrames = %d", got)
+	}
+
+	if _, err := st.GetSlice(7, 100, 100); err == nil {
+		t.Error("empty slice must fail")
+	}
+	if _, err := st.GetSlice(7, 3990, 5000); err == nil {
+		t.Error("out-of-range slice must fail")
+	}
+}

@@ -110,6 +110,42 @@ func (st *Store) Get(id int64) (*Spectrum, error) {
 	return s, nil
 }
 
+// GetSlice loads only samples [lo, hi) of a spectrum — the "cutting out
+// small regions around the interesting spectral lines" access pattern
+// (§2.2) — reading just the blob chunks those samples live on instead of
+// materializing the four full arrays. Flags are included; Z and ID come
+// from the row as usual.
+func (st *Store) GetSlice(id int64, lo, hi int) (*Spectrum, error) {
+	if lo < 0 || hi <= lo {
+		return nil, fmt.Errorf("spectra: bad slice [%d,%d)", lo, hi)
+	}
+	row, err := st.table.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	s := &Spectrum{ID: id, Z: row[1].F}
+	offset, size := []int{lo}, []int{hi - lo}
+	for i, dst := range []*[]float64{&s.Wave, &s.Flux, &s.Err} {
+		arr, err := st.table.BlobSubarray(row[2+i].B, offset, size, false)
+		if err != nil {
+			return nil, fmt.Errorf("spectra: slicing column %d: %w", 2+i, err)
+		}
+		if arr.ElemType() != core.Float64 {
+			return nil, fmt.Errorf("%w: column %d holds %s", core.ErrTypeMismatch, 2+i, arr.ElemType())
+		}
+		*dst = arr.Float64s()
+	}
+	flags, err := st.table.BlobSubarray(row[5].B, offset, size, false)
+	if err != nil {
+		return nil, fmt.Errorf("spectra: slicing flags: %w", err)
+	}
+	if !flags.ElemType().IsInteger() {
+		return nil, fmt.Errorf("%w: flags column holds %s", core.ErrTypeMismatch, flags.ElemType())
+	}
+	s.Flags = flags.Int64s()
+	return s, nil
+}
+
 // All loads every stored spectrum in id order.
 func (st *Store) All() ([]*Spectrum, error) {
 	var ids []int64

@@ -54,6 +54,14 @@ type Batch struct {
 	// scan fill. It is recycled whenever the batch is emptied; values
 	// survive a compaction because compaction only moves Value headers.
 	arena []byte
+
+	// pins owns the zero-copy blob views MAX-column derefs (cMaxCol)
+	// acquire while expressions evaluate over this batch: the resolved
+	// payload bytes alias pinned chunk pages, so the pins must live as
+	// long as the batch's values do. They are released whenever the
+	// batch is recycled for the next fill and when the owning operator
+	// closes.
+	pins engine.BlobPins
 }
 
 // newBatch allocates a batch for a table with ncols schema columns.
@@ -70,11 +78,25 @@ func (b *Batch) reset(capRows int) {
 	b.cap = capRows
 	b.aggVals = nil
 	b.arena = b.arena[:0]
+	b.pins.Release()
 	if cap(b.keys) < capRows {
 		b.keys = make([]int64, capRows)
 	}
 	b.keys = b.keys[:capRows]
 }
+
+// recycle empties the batch between fills within one operator call:
+// live rows are dropped, the arena is rewound and any zero-copy blob
+// pins are released. Capacity and column slices are kept.
+func (b *Batch) recycle() {
+	b.n = 0
+	b.arena = b.arena[:0]
+	b.pins.Release()
+}
+
+// pinSet exposes the batch's pin set to expression nodes resolving MAX
+// column refs zero-copy.
+func (b *Batch) pinSet() *engine.BlobPins { return &b.pins }
 
 // ensureCol makes sure column ci can hold cap rows, returning the slice.
 func (b *Batch) ensureCol(ci int) []engine.Value {
@@ -229,8 +251,7 @@ func (f *batchFilterOp) nextBatch(b *Batch) (int, error) {
 			return n, nil
 		}
 		// Everything filtered out: recycle the batch and pull more rows.
-		b.n = 0
-		b.arena = b.arena[:0]
+		b.recycle()
 	}
 }
 
@@ -292,8 +313,7 @@ func (a *batchAggOp) nextBatch(b *Batch) (int, error) {
 				return 0, err
 			}
 		}
-		b.n = 0
-		b.arena = b.arena[:0]
+		b.recycle()
 	}
 	// Release the scan before emitting: the aggregate row references no
 	// page memory.
@@ -359,6 +379,9 @@ func (p *batchParallelAggOp) scanPartition(st *workerState, lo, hi int64, stop *
 	}
 	defer cur.Close()
 	b := newBatch(len(p.need))
+	// The worker's private batch may hold zero-copy blob pins from the
+	// last fill; release them however the partition scan exits.
+	defer b.pins.Release()
 	var sel []int
 	for {
 		if stop.Load() {
@@ -558,4 +581,10 @@ func (d *batchDrainOp) next() (*rowCtx, error) {
 	return &d.ctx, nil
 }
 
-func (d *batchDrainOp) close() error { return d.root.close() }
+func (d *batchDrainOp) close() error {
+	// The drain owns the pipeline's batch: release any zero-copy blob
+	// pins its current contents hold before (idempotently) closing the
+	// operator tree, so a Rows.Close leaves PinnedFrames at zero.
+	d.b.pins.Release()
+	return d.root.close()
+}

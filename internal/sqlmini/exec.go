@@ -229,6 +229,69 @@ func (c *cConst) evalBatch(b *Batch, n int) ([]engine.Value, error) {
 
 type cCol struct{ idx int }
 
+// cMaxCol reads a VARBINARY(MAX) column. On the row the column holds
+// only a 12-byte blob ref; this node materializes it into the array
+// payload so UDFs, comparisons and projections over MAX columns see the
+// same bytes short VARBINARY columns yield. On the batch path the
+// resolve is zero-copy for single-chunk blobs: the returned bytes alias
+// a pinned chunk page owned by the batch's pin set, released when the
+// batch is recycled or the pipeline closes. The row pipeline (and the
+// reference executor built on it) uses the copying read — there is no
+// batch to own a pin there.
+type cMaxCol struct {
+	tbl *engine.Table
+	idx int
+	vec []engine.Value
+}
+
+func (c *cMaxCol) resolve(refBytes []byte, pins *engine.BlobPins) (engine.Value, error) {
+	payload, err := c.tbl.ResolveMax(refBytes, pins)
+	if err != nil {
+		return engine.Null, err
+	}
+	return engine.BinaryMaxValue(payload), nil
+}
+
+func (c *cMaxCol) eval(ctx *rowCtx) (engine.Value, error) {
+	if ctx.row != nil {
+		v, err := ctx.row.Col(c.idx)
+		if err != nil || v.IsNull() {
+			return v, err
+		}
+		return c.resolve(v.B, nil)
+	}
+	col := ctx.batch.cols[c.idx]
+	if col == nil {
+		return engine.Null, fmt.Errorf("sql: internal: column %d not decoded into batch", c.idx)
+	}
+	v := col[ctx.idx]
+	if v.IsNull() {
+		return v, nil
+	}
+	return c.resolve(v.B, ctx.batch.pinSet())
+}
+
+func (c *cMaxCol) evalBatch(b *Batch, n int) ([]engine.Value, error) {
+	col := b.cols[c.idx]
+	if col == nil {
+		return nil, fmt.Errorf("sql: internal: column %d not decoded into batch", c.idx)
+	}
+	vec := ensureVec(&c.vec, n)
+	for i := 0; i < n; i++ {
+		v := col[i]
+		if v.IsNull() {
+			vec[i] = engine.Null
+			continue
+		}
+		r, err := c.resolve(v.B, b.pinSet())
+		if err != nil {
+			return nil, err
+		}
+		vec[i] = r
+	}
+	return vec, nil
+}
+
 func (c *cCol) eval(ctx *rowCtx) (engine.Value, error) {
 	if ctx.row != nil {
 		return ctx.row.Col(c.idx)
@@ -763,6 +826,7 @@ func (a *accumulator) result() engine.Value {
 // used so the batch scan decodes only referenced columns.
 type compileCtx struct {
 	db     *engine.DB
+	tbl    *engine.Table
 	schema *engine.Schema
 	accs   []*accumulator
 	used   []bool
@@ -793,6 +857,9 @@ func (cc *compileCtx) compile(e Expr, inAggQuery bool) (compiled, error) {
 			// a bare column there has no value (T-SQL rejects this too, as
 			// there is no GROUP BY in the dialect).
 			return nil, fmt.Errorf("sql: column %q must appear inside an aggregate function", n.Name)
+		}
+		if cc.schema.Columns[idx].Type == engine.ColVarBinaryMax {
+			return &cMaxCol{tbl: cc.tbl, idx: idx}, nil
 		}
 		return &cCol{idx: idx}, nil
 	case *Star:

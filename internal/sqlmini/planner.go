@@ -280,7 +280,7 @@ type compiledStmt struct {
 // schema, registering aggregate accumulators. residualWhere replaces
 // stmt.Where (the planner strips pushed-down conjuncts first).
 func compileStmt(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, residualWhere Expr) (*compiledStmt, error) {
-	cc := &compileCtx{db: db, schema: tbl.Schema(), used: make([]bool, len(tbl.Schema().Columns))}
+	cc := &compileCtx{db: db, tbl: tbl, schema: tbl.Schema(), used: make([]bool, len(tbl.Schema().Columns))}
 	cs := &compiledStmt{}
 	for _, it := range stmt.Items {
 		cs.aggregate = cs.aggregate || hasAggregate(it.Expr)

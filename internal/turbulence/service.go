@@ -217,7 +217,14 @@ func (s *Store) cubeCode(cx, cy, cz int) (uint64, error) {
 }
 
 // readStencil performs the partial-read path: only the byte runs of the
-// np³×3 stencil sub-array are fetched from the out-of-page blob.
+// np³×3 stencil sub-array are fetched from the out-of-page blob, and
+// the float64 samples are decoded straight off the pinned chunk pages —
+// no intermediate byte buffer, no copy. The zero-copy decode requires
+// every element to sit inside one chunk page, which holds exactly when
+// the header size and the chunk payload size are both 8-byte aligned
+// (the rank-4 max header is 32 bytes and ChunkSize is 8096, so this is
+// always true here); the copying path remains as the fallback should
+// either alignment ever change.
 func (s *Store) readStencil(step, cx, cy, cz, sx, sy, sz, np int) ([]float64, error) {
 	ref, err := s.fetchRef(step, cx, cy, cz)
 	if err != nil {
@@ -236,11 +243,28 @@ func (s *Store) readStencil(step, cx, cy, cz, sx, sy, sz, np int) ([]float64, er
 		blobRuns[i] = blob.Run{SrcOff: r.SrcOff + hdr, DstOff: r.DstOff, Len: r.Len}
 		dstBytes += r.Len
 	}
+	out := make([]float64, dstBytes/8)
+	if hdr%8 == 0 && blob.ChunkSize%8 == 0 {
+		rv, err := s.db.Blobs().ReadRunsPinned(ref, blobRuns)
+		if err != nil {
+			return nil, err
+		}
+		defer rv.Release()
+		for i := range blobRuns {
+			rv.VisitRun(i, func(dstOff int, seg []byte) {
+				for w := 0; w+8 <= len(seg); w += 8 {
+					out[(dstOff+w)/8] = math.Float64frombits(leUint64(seg[w:]))
+				}
+			})
+		}
+		return out, nil
+	}
+	// Copying fallback for unaligned layouts: scatter the runs into a
+	// staging buffer, then decode.
 	dst := make([]byte, dstBytes)
 	if err := s.db.Blobs().ReadRuns(ref, dst, blobRuns); err != nil {
 		return nil, err
 	}
-	out := make([]float64, dstBytes/8)
 	for i := range out {
 		out[i] = math.Float64frombits(leUint64(dst[8*i:]))
 	}
