@@ -20,19 +20,25 @@ import (
 	"sqlarray/internal/core"
 	"sqlarray/internal/engine"
 	"sqlarray/internal/pages"
+	"sqlarray/internal/wal"
 )
 
 func main() {
-	db := sqlarray.NewDatabase()
+	// The shell runs over an in-memory disk with an in-memory WAL, so
+	// DML is logged exactly as a file-backed database would log it and
+	// .stats/.checkpoint show the real durability traffic.
+	db := sqlarray.NewDatabaseWith(sqlarray.Options{WAL: sqlarray.NewMemWAL()})
 	if err := createDemoTable(db); err != nil {
 		fmt.Fprintln(os.Stderr, "sqlsh:", err)
 		os.Exit(1)
 	}
 	cols := sqlarray.ArrayColumns{}
-	fmt.Println(`sqlarray shell — one SELECT per line; \col <name> <schema> maps a column for
-subscript sugar; .stats prints the last query's buffer-pool and blob I/O;
-\q quits. A table "demo"(id BIGINT, v VARBINARY short float 5-vector) is
-preloaded with 10 rows.`)
+	fmt.Println(`sqlarray shell — one statement per line (SELECT, INSERT, UPDATE, DELETE;
+UPDATE supports in-place subarray assignment: SET v[1:3] = ...);
+\col <name> <schema> maps a column for subscript sugar; .stats prints the
+last statement's buffer-pool, blob and WAL I/O; .checkpoint flushes and
+bounds recovery; \q quits. A table "demo"(id BIGINT, v VARBINARY short
+float 5-vector) is preloaded with 10 rows.`)
 	sc := bufio.NewScanner(os.Stdin)
 	var last queryStats
 	haveLast := false
@@ -54,6 +60,15 @@ preloaded with 10 rows.`)
 			}
 			last.print()
 			continue
+		case line == ".checkpoint" || line == `\checkpoint`:
+			if err := db.Checkpoint(); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			ws := db.WAL().Stats()
+			fmt.Printf("checkpoint done: WAL at LSN %d, %d segment(s), %d checkpoint(s) total\n",
+				db.WAL().DurableLSN(), db.WAL().Segments(), ws.Checkpoints)
+			continue
 		case strings.HasPrefix(line, `\col `):
 			parts := strings.Fields(line)
 			if len(parts) != 3 {
@@ -64,16 +79,31 @@ preloaded with 10 rows.`)
 			fmt.Printf("mapped %s -> %s\n", parts[1], parts[2])
 			continue
 		}
-		p0, b0 := db.Pool().Stats(), db.Blobs().Stats()
-		rows, err := db.QueryArrayRows(line, cols)
-		if err != nil {
-			fmt.Println("error:", err)
-			continue
+		p0, b0, w0 := db.Pool().Stats(), db.Blobs().Stats(), db.WAL().Stats()
+		if isSelect(line) {
+			rows, err := db.QueryArrayRows(line, cols)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			printRows(rows)
+		} else {
+			res, err := db.ExecArray(line, cols)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("(%d row(s) affected)\n", res.RowsAffected)
 		}
-		printRows(rows)
-		last = diffStats(p0, b0, db.Pool().Stats(), db.Blobs().Stats())
+		last = diffStats(p0, b0, w0, db.Pool().Stats(), db.Blobs().Stats(), db.WAL().Stats())
 		haveLast = true
 	}
+}
+
+// isSelect routes a line to the streaming query path; everything else
+// goes through Exec (which also handles SELECT, but materialized).
+func isSelect(line string) bool {
+	return len(line) >= 6 && strings.EqualFold(line[:6], "SELECT")
 }
 
 // queryStats is the per-query delta of the pool and blob counters, the
@@ -83,17 +113,23 @@ type queryStats struct {
 	logical, physical, bytesRead    uint64
 	dirReads, chunkReads, blobBytes uint64
 	streamCalls                     uint64
+	chunksWritten                   uint64
+	walRecords, walBytes, walSyncs  uint64
 }
 
-func diffStats(p0 pages.Stats, b0 blob.Stats, p1 pages.Stats, b1 blob.Stats) queryStats {
+func diffStats(p0 pages.Stats, b0 blob.Stats, w0 wal.Stats, p1 pages.Stats, b1 blob.Stats, w1 wal.Stats) queryStats {
 	return queryStats{
-		logical:     p1.LogicalReads - p0.LogicalReads,
-		physical:    p1.PhysicalReads - p0.PhysicalReads,
-		bytesRead:   p1.BytesRead - p0.BytesRead,
-		dirReads:    b1.DirectoryReads - b0.DirectoryReads,
-		chunkReads:  b1.ChunkReads - b0.ChunkReads,
-		blobBytes:   b1.BytesRead - b0.BytesRead,
-		streamCalls: b1.StreamCalls - b0.StreamCalls,
+		logical:       p1.LogicalReads - p0.LogicalReads,
+		physical:      p1.PhysicalReads - p0.PhysicalReads,
+		bytesRead:     p1.BytesRead - p0.BytesRead,
+		dirReads:      b1.DirectoryReads - b0.DirectoryReads,
+		chunkReads:    b1.ChunkReads - b0.ChunkReads,
+		blobBytes:     b1.BytesRead - b0.BytesRead,
+		streamCalls:   b1.StreamCalls - b0.StreamCalls,
+		chunksWritten: b1.ChunksWritten - b0.ChunksWritten,
+		walRecords:    w1.Records - w0.Records,
+		walBytes:      w1.BytesLogged - w0.BytesLogged,
+		walSyncs:      w1.Syncs - w0.Syncs,
 	}
 }
 
@@ -104,8 +140,10 @@ func (q queryStats) print() {
 	}
 	fmt.Printf("buffer pool: %d logical reads, %d physical (%.1f%% hit ratio), %s from disk\n",
 		q.logical, q.physical, hit, fmtBytes(q.bytesRead))
-	fmt.Printf("blob store:  %d chunk reads, %d directory reads, %s of blob data, %d stream calls\n",
-		q.chunkReads, q.dirReads, fmtBytes(q.blobBytes), q.streamCalls)
+	fmt.Printf("blob store:  %d chunk reads, %d directory reads, %s of blob data, %d stream calls, %d chunks written\n",
+		q.chunkReads, q.dirReads, fmtBytes(q.blobBytes), q.streamCalls, q.chunksWritten)
+	fmt.Printf("WAL:         %d records, %s logged, %d syncs\n",
+		q.walRecords, fmtBytes(q.walBytes), q.walSyncs)
 }
 
 func fmtBytes(n uint64) string {

@@ -70,6 +70,8 @@ type Stats struct {
 	ChunksWritten  uint64
 	BytesWritten   uint64
 	StreamCalls    uint64 // stream-wrapper invocations (the CLR-boundary analogue)
+	PagesFreed     uint64 // pages returned to the free list by Free
+	PagesReused    uint64 // allocations served from the free list
 }
 
 // counters is the live, atomic form of Stats. The store is read from
@@ -82,6 +84,8 @@ type counters struct {
 	chunksWritten  atomic.Uint64
 	bytesWritten   atomic.Uint64
 	streamCalls    atomic.Uint64
+	pagesFreed     atomic.Uint64
+	pagesReused    atomic.Uint64
 }
 
 // Store reads and writes blobs over a buffer pool. It is safe for
@@ -103,6 +107,8 @@ func (s *Store) Stats() Stats {
 		ChunksWritten:  s.stats.chunksWritten.Load(),
 		BytesWritten:   s.stats.bytesWritten.Load(),
 		StreamCalls:    s.stats.streamCalls.Load(),
+		PagesFreed:     s.stats.pagesFreed.Load(),
+		PagesReused:    s.stats.pagesReused.Load(),
 	}
 }
 
@@ -128,7 +134,7 @@ func (s *Store) Write(data []byte) (Ref, error) {
 		if end > len(data) {
 			end = len(data)
 		}
-		f, err := s.bp.NewPage(pages.TypeBlobData)
+		f, err := s.allocPage(pages.TypeBlobData)
 		if err != nil {
 			return Ref{}, err
 		}
@@ -156,7 +162,7 @@ func (s *Store) writeDirectory(ids []pages.PageID) (pages.PageID, error) {
 		if end > len(ids) {
 			end = len(ids)
 		}
-		f, err := s.bp.NewPage(pages.TypeBlobTree)
+		f, err := s.allocPage(pages.TypeBlobTree)
 		if err != nil {
 			if prevFrame != nil {
 				s.bp.Unpin(prevFrame, true)

@@ -1,0 +1,233 @@
+// Page free-list and blob reclamation.
+//
+// The seed store could only ever grow: overwriting or deleting a MAX
+// value leaked its chunk and directory pages forever, because nothing
+// recorded that they were dead. The store now keeps a persistent
+// free-list — a stack of TypeFree pages threaded through their Next
+// links, with the head pointer stored on the reserved metadata page 0 —
+// and every allocation pops it before extending the file. Free(ref)
+// pushes a blob's chunk and directory pages onto the list; the engine
+// routes every rewrite and delete path through it, so steady-state
+// update workloads stop growing the database file.
+//
+// All free-list mutations happen on the single-writer path (the engine
+// holds its database write lock), so no extra locking is needed beyond
+// the buffer pool's own.
+package blob
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sqlarray/internal/pages"
+)
+
+// freeHead reads the free-list head page id from the metadata page.
+func (s *Store) freeHead() (pages.PageID, error) {
+	f, err := s.bp.Fetch(0)
+	if err != nil {
+		return 0, err
+	}
+	defer s.bp.Unpin(f, false)
+	if f.Page.Type() != pages.TypeMeta {
+		return 0, nil // never initialized: empty free list
+	}
+	return pages.PageID(binary.LittleEndian.Uint32(f.Page.Body())), nil
+}
+
+// setFreeHead stores the free-list head, initializing the metadata page
+// on first use.
+func (s *Store) setFreeHead(id pages.PageID) error {
+	f, err := s.bp.Fetch(0)
+	if err != nil {
+		return err
+	}
+	if f.Page.Type() != pages.TypeMeta {
+		f.Page.Init(pages.TypeMeta)
+	}
+	binary.LittleEndian.PutUint32(f.Page.Body(), uint32(id))
+	s.bp.Unpin(f, true)
+	return nil
+}
+
+// allocPage returns a pinned, initialized page of the given type,
+// serving from the free list when possible and extending the file
+// otherwise. The caller owns the pin (and must Unpin dirty).
+func (s *Store) allocPage(t pages.PageType) (*pages.Frame, error) {
+	head, err := s.freeHead()
+	if err != nil {
+		return nil, err
+	}
+	if head == pages.InvalidPageID {
+		return s.bp.NewPage(t)
+	}
+	f, err := s.bp.Fetch(head)
+	if err != nil {
+		return nil, err
+	}
+	if f.Page.Type() != pages.TypeFree {
+		s.bp.Unpin(f, false)
+		return nil, fmt.Errorf("blob: free-list head page %d has type %d, not free", head, f.Page.Type())
+	}
+	next := f.Page.Next()
+	if err := s.setFreeHead(next); err != nil {
+		s.bp.Unpin(f, false)
+		return nil, err
+	}
+	f.Page.Init(t)
+	s.stats.pagesReused.Add(1)
+	return f, nil
+}
+
+// Free returns every page of a blob — chunk pages and directory pages —
+// to the free list. A null ref is a no-op. The ref must not be used
+// afterward; reading a freed blob returns type-mismatch errors (the
+// pages are retyped TypeFree).
+func (s *Store) Free(ref Ref) error {
+	if ref.IsNull() {
+		return nil
+	}
+	// Collect directory page ids while loading the chunk list, so both
+	// levels of the blob tree are reclaimed.
+	var dirIDs []pages.PageID
+	var chunkIDs []pages.PageID
+	id := ref.Root
+	for id != pages.InvalidPageID {
+		f, err := s.bp.Fetch(id)
+		if err != nil {
+			return err
+		}
+		if f.Page.Type() != pages.TypeBlobTree {
+			s.bp.Unpin(f, false)
+			return fmt.Errorf("%w: page %d is not a blob directory", ErrBadRef, id)
+		}
+		used := f.Page.Used()
+		body := f.Page.Body()
+		for i := 0; i < used; i += 4 {
+			chunkIDs = append(chunkIDs, pages.PageID(binary.LittleEndian.Uint32(body[i:])))
+		}
+		dirIDs = append(dirIDs, id)
+		next := f.Page.Next()
+		s.bp.Unpin(f, false)
+		id = next
+	}
+	head, err := s.freeHead()
+	if err != nil {
+		return err
+	}
+	push := func(id pages.PageID) error {
+		f, err := s.bp.Fetch(id)
+		if err != nil {
+			return err
+		}
+		f.Page.Init(pages.TypeFree)
+		f.Page.SetNext(head)
+		s.bp.Unpin(f, true)
+		head = id
+		s.stats.pagesFreed.Add(1)
+		return nil
+	}
+	for _, id := range chunkIDs {
+		if err := push(id); err != nil {
+			return err
+		}
+	}
+	for _, id := range dirIDs {
+		if err := push(id); err != nil {
+			return err
+		}
+	}
+	return s.setFreeHead(head)
+}
+
+// FreeListLen walks the free list and returns its length (test hook).
+func (s *Store) FreeListLen() (int, error) {
+	id, err := s.freeHead()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for id != pages.InvalidPageID {
+		f, err := s.bp.Fetch(id)
+		if err != nil {
+			return 0, err
+		}
+		if f.Page.Type() != pages.TypeFree {
+			s.bp.Unpin(f, false)
+			return 0, fmt.Errorf("blob: free-list page %d has type %d", id, f.Page.Type())
+		}
+		next := f.Page.Next()
+		s.bp.Unpin(f, false)
+		id = next
+		n++
+		if n > s.bp.Disk().NumPages() {
+			return 0, fmt.Errorf("blob: free-list cycle detected")
+		}
+	}
+	return n, nil
+}
+
+// WriteRuns writes a batch of partial updates into an existing blob,
+// described as runs where SrcOff addresses the stored blob and DstOff
+// addresses the src buffer — the write-side mirror of ReadRuns, sharing
+// one directory walk and touching only the chunk pages the runs cover.
+// This is the storage half of in-place subarray updates: rewriting a
+// slice of a multi-chunk array dirties (and later logs) only the chunks
+// the slice lands on, never the whole blob.
+func (s *Store) WriteRuns(ref Ref, src []byte, runs []Run) error {
+	if len(runs) == 0 {
+		return nil
+	}
+	if ref.IsNull() {
+		return fmt.Errorf("%w: null blob", ErrBadRef)
+	}
+	ids, err := s.chunkIDs(ref)
+	if err != nil {
+		return err
+	}
+	for _, r := range runs {
+		if r.Len <= 0 {
+			return fmt.Errorf("%w: run length %d", ErrShortRead, r.Len)
+		}
+		if r.SrcOff < 0 || int64(r.SrcOff+r.Len) > ref.Length {
+			return fmt.Errorf("%w: run [%d,%d) of %d", ErrShortRead, r.SrcOff, r.SrcOff+r.Len, ref.Length)
+		}
+		if r.DstOff < 0 || r.DstOff+r.Len > len(src) {
+			return fmt.Errorf("%w: source range [%d,%d) of %d", ErrShortRead, r.DstOff, r.DstOff+r.Len, len(src))
+		}
+		first := r.SrcOff / ChunkSize
+		last := (r.SrcOff + r.Len - 1) / ChunkSize
+		read := 0
+		for c := first; c <= last; c++ {
+			if c >= len(ids) {
+				return fmt.Errorf("%w: chunk %d of %d", ErrBadRef, c, len(ids))
+			}
+			f, err := s.bp.Fetch(ids[c])
+			if err != nil {
+				return err
+			}
+			if f.Page.Type() != pages.TypeBlobData {
+				s.bp.Unpin(f, false)
+				return fmt.Errorf("%w: page %d is not a blob chunk", ErrBadRef, ids[c])
+			}
+			lo := 0
+			if c == first {
+				lo = r.SrcOff % ChunkSize
+			}
+			hi := f.Page.Used()
+			span := hi - lo
+			if rem := r.Len - read; span > rem {
+				span = rem
+			}
+			n := copy(f.Page.Body()[lo:lo+span], src[r.DstOff+read:])
+			read += n
+			s.bp.Unpin(f, true)
+			s.stats.chunksWritten.Add(1)
+			s.stats.bytesWritten.Add(uint64(n))
+		}
+		if read != r.Len {
+			return fmt.Errorf("%w: run wanted %d bytes, wrote %d", ErrShortRead, r.Len, read)
+		}
+	}
+	return nil
+}

@@ -20,13 +20,16 @@ import (
 //
 // Row (and any binary Values decoded from it) aliases the pinned leaf
 // page and is only valid until the next call to Next or Close; copy to
-// retain. Close must always be called: it releases the pinned page, and
+// retain. Close must always be called: it releases the pinned page and
+// the table's shared latch (held for the cursor's whole lifetime, which
+// is what keeps concurrent DML off the pages the scan is reading), and
 // early termination (TOP n) would otherwise leak a pin and wedge
 // DropCleanBuffers.
 type Cursor struct {
 	it     *btree.Iterator
 	schema *Schema
 	rv     RowView
+	unlock func()
 }
 
 // Cursor opens a streaming scan over the whole table.
@@ -44,11 +47,13 @@ func (t *Table) CursorFrom(start int64) (*Cursor, error) {
 // a key-range query touches only the root-to-leaf descent plus the pages
 // the range spans.
 func (t *Table) CursorRange(lo, hi int64) (*Cursor, error) {
+	unlock := t.rlock()
 	it, err := t.tree.ScanRange(lo, hi)
 	if err != nil {
+		unlock()
 		return nil, err
 	}
-	return &Cursor{it: it, schema: &t.schema}, nil
+	return &Cursor{it: it, schema: &t.schema, unlock: unlock}, nil
 }
 
 // Next advances to the next row, returning false at the end of the range
@@ -90,5 +95,11 @@ func (c *Cursor) Row() *RowView { return &c.rv }
 // Err returns the first error encountered while scanning.
 func (c *Cursor) Err() error { return c.it.Err() }
 
-// Close releases the cursor's pinned page. Safe to call twice.
-func (c *Cursor) Close() { c.it.Close() }
+// Close releases the cursor's pinned page and the table latch. Safe to
+// call twice.
+func (c *Cursor) Close() {
+	c.it.Close()
+	if c.unlock != nil {
+		c.unlock()
+	}
+}

@@ -1,22 +1,31 @@
 package engine
 
 import (
+	"encoding/json"
 	"fmt"
+	"sort"
 	"sync"
 
 	"sqlarray/internal/blob"
 	"sqlarray/internal/btree"
 	"sqlarray/internal/pages"
+	"sqlarray/internal/wal"
 )
 
 // DB is a database instance: a buffer pool over one disk file, a blob
-// store for out-of-page data, a table catalog and a function registry.
+// store for out-of-page data, a table catalog, a function registry and
+// (optionally) a write-ahead log that makes DML durable and the
+// database recoverable after a crash.
 type DB struct {
-	mu     sync.RWMutex
-	bp     *pages.BufferPool
-	blobs  *blob.Store
-	tables map[string]*Table
-	funcs  *FuncRegistry
+	mu      sync.RWMutex // guards the table catalog
+	writeMu sync.Mutex   // serializes write sessions (single-writer engine)
+	bp      *pages.BufferPool
+	blobs   *blob.Store
+	tables  map[string]*Table
+	funcs   *FuncRegistry
+
+	wal          *wal.Log
+	syncOnCommit bool
 }
 
 // Options configures a database.
@@ -25,10 +34,25 @@ type Options struct {
 	Disk pages.DiskManager
 	// PoolPages sizes the buffer pool; defaults to 16384 frames (128 MB).
 	PoolPages int
+	// WAL attaches a write-ahead log. On Open the log's committed tail
+	// is replayed into the disk (crash recovery) and the catalog is
+	// rebuilt from the log; afterward every write session logs page
+	// after-images before the pool may flush them. Nil disables
+	// durability (the seed behavior).
+	WAL *wal.Log
+	// NoSyncOnCommit relaxes durability: commit records are appended to
+	// the group-commit buffer but not synced per statement. A crash may
+	// lose recent statements (never corrupt the database); Checkpoint
+	// and explicit SyncWAL still harden everything up to their point.
+	NoSyncOnCommit bool
 }
 
-// NewDB creates a database with the given options.
-func NewDB(opts Options) *DB {
+// Open creates a database over opts, running crash recovery first when
+// a WAL is attached: committed page images since the last checkpoint
+// are replayed into the disk, the table catalog is rebuilt from
+// checkpoint and commit records, and any uncommitted log tail is
+// truncated.
+func Open(opts Options) (*DB, error) {
 	if opts.Disk == nil {
 		opts.Disk = pages.NewMemDisk()
 	}
@@ -36,12 +60,32 @@ func NewDB(opts Options) *DB {
 		opts.PoolPages = 16384
 	}
 	bp := pages.NewBufferPool(opts.Disk, opts.PoolPages)
-	return &DB{
-		bp:     bp,
-		blobs:  blob.NewStore(bp),
-		tables: make(map[string]*Table),
-		funcs:  NewFuncRegistry(),
+	db := &DB{
+		bp:           bp,
+		blobs:        blob.NewStore(bp),
+		tables:       make(map[string]*Table),
+		funcs:        NewFuncRegistry(),
+		wal:          opts.WAL,
+		syncOnCommit: !opts.NoSyncOnCommit,
 	}
+	if db.wal != nil {
+		if err := db.recover(); err != nil {
+			return nil, fmt.Errorf("engine: recovery: %w", err)
+		}
+		bp.SetWAL(db.wal)
+	}
+	return db, nil
+}
+
+// NewDB creates a database with the given options. For WAL-backed
+// databases prefer Open — recovery can fail, and NewDB panics on a
+// recovery error.
+func NewDB(opts Options) *DB {
+	db, err := Open(opts)
+	if err != nil {
+		panic(err)
+	}
+	return db
 }
 
 // NewMemDB creates an in-memory database with default sizing.
@@ -56,8 +100,22 @@ func (db *DB) Blobs() *blob.Store { return db.blobs }
 // Funcs exposes the UDF registry.
 func (db *DB) Funcs() *FuncRegistry { return db.funcs }
 
-// CreateTable registers a new table with the given schema.
+// WAL returns the attached write-ahead log, or nil.
+func (db *DB) WAL() *wal.Log { return db.wal }
+
+// CreateTable registers a new table with the given schema. The creation
+// (root page and schema) is logged like any other statement.
 func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
+	tx, err := db.Begin()
+	if err != nil {
+		return nil, err
+	}
+	t, err := db.CreateTableTx(tx, name, schema)
+	return t, tx.Close(err)
+}
+
+// CreateTableTx is CreateTable inside an existing write session.
+func (db *DB) CreateTableTx(tx *Tx, name string, schema Schema) (*Table, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if _, ok := db.tables[name]; ok {
@@ -69,6 +127,7 @@ func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
 	}
 	t := &Table{db: db, name: name, schema: schema, tree: tree}
 	db.tables[name] = t
+	tx.noteCreated(t)
 	return t, nil
 }
 
@@ -86,3 +145,58 @@ func (db *DB) Table(name string) (*Table, error) {
 // DropCleanBuffers clears the page cache, as the paper does before each
 // measured query run.
 func (db *DB) DropCleanBuffers() error { return db.bp.DropCleanBuffers() }
+
+// SyncWAL makes every logged record durable (a group-commit flush
+// point). No-op without a WAL.
+func (db *DB) SyncWAL() error {
+	if db.wal == nil {
+		return nil
+	}
+	return db.wal.Sync()
+}
+
+// Checkpoint bounds future recovery: it syncs the WAL, flushes every
+// dirty page to the database file (each flush is legal because its log
+// record is durable), syncs the disk when it supports syncing, and
+// appends a checkpoint record carrying a full catalog snapshot. Old log
+// segments that no recovery can need are pruned. Without a WAL it
+// degrades to a plain flush.
+func (db *DB) Checkpoint() error {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	if err := db.bp.FlushAll(); err != nil {
+		return err
+	}
+	if s, ok := db.bp.Disk().(interface{ Sync() error }); ok {
+		if err := s.Sync(); err != nil {
+			return err
+		}
+	}
+	if db.wal == nil {
+		return nil
+	}
+	payload, err := json.Marshal(db.catalogSnapshot())
+	if err != nil {
+		return err
+	}
+	_, err = db.wal.Checkpoint(payload)
+	return err
+}
+
+// catalogSnapshot captures every table's state with schemas — the
+// checkpoint record payload. Caller holds writeMu (so no table state is
+// in flux).
+func (db *DB) catalogSnapshot() walCatalog {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for name := range db.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var cat walCatalog
+	for _, name := range names {
+		cat.Tables = append(cat.Tables, db.tables[name].walState(true))
+	}
+	return cat
+}

@@ -1,22 +1,39 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"sqlarray/internal/blob"
 	"sqlarray/internal/btree"
+	"sqlarray/internal/core"
 )
 
 // Table is a clustered table: rows live in B-tree leaves ordered by the
 // BIGINT key column, exactly the layout Table 1's queries scan.
+//
+// Concurrency: the table carries a read-write latch. Write sessions
+// (Insert/Update/Delete/UpdateBlobSubarray, always under the database's
+// single-writer lock) hold it exclusively; cursors and scans hold it
+// shared for their whole lifetime, which is what lets parallel batch
+// scans read pinned leaf pages and zero-copy blob views while DML runs
+// on other tables — and serializes them against DML on the same table.
+// The blob accessors (ResolveMax, BlobSubarray, ...) do not re-acquire
+// the latch: the SQL paths call them under an open cursor, and a second
+// shared acquisition from the same goroutine could deadlock against a
+// waiting writer. Standalone callers racing DML on the same table must
+// hold a cursor or serialize externally.
 type Table struct {
 	db        *DB
 	name      string
 	schema    Schema
+	mu        sync.RWMutex
 	tree      *btree.Tree
-	rows      int64
-	rowBytes  int64 // sum of row-image sizes (excludes out-of-page blobs)
-	blobBytes int64 // bytes pushed out of page
+	rows      atomic.Int64
+	rowBytes  atomic.Int64 // sum of row-image sizes (excludes out-of-page blobs)
+	blobBytes atomic.Int64 // bytes pushed out of page
 }
 
 // Name returns the table name.
@@ -25,13 +42,33 @@ func (t *Table) Name() string { return t.name }
 // Schema returns the table schema.
 func (t *Table) Schema() *Schema { return &t.schema }
 
-// Rows returns the row count.
-func (t *Table) Rows() int64 { return t.rows }
+// Rows returns the row count. Lock-free (the planner reads it while
+// scans run).
+func (t *Table) Rows() int64 { return t.rows.Load() }
 
-// Insert adds a row. VARBINARY(MAX) values are written to the blob store
-// and replaced by their refs before the row image is built; everything
-// else is stored inline on the page.
+// rlock acquires the table's shared latch; the returned func releases
+// it exactly once (cursors call it from Close, which must be
+// idempotent).
+func (t *Table) rlock() func() {
+	t.mu.RLock()
+	var once sync.Once
+	return func() { once.Do(t.mu.RUnlock) }
+}
+
+// Insert adds a row as a single-statement write session.
 func (t *Table) Insert(vals []Value) error {
+	tx, err := t.db.Begin()
+	if err != nil {
+		return err
+	}
+	return tx.Close(t.InsertTx(tx, vals))
+}
+
+// InsertTx adds a row inside an existing write session. VARBINARY(MAX)
+// values are written to the blob store and replaced by their refs
+// before the row image is built; everything else is stored inline on
+// the page.
+func (t *Table) InsertTx(tx *Tx, vals []Value) error {
 	if len(vals) != len(t.schema.Columns) {
 		return fmt.Errorf("%w: %d values for %d columns", ErrTypeError, len(vals), len(t.schema.Columns))
 	}
@@ -39,8 +76,12 @@ func (t *Table) Insert(vals []Value) error {
 	if err != nil {
 		return fmt.Errorf("engine: clustered key: %w", err)
 	}
+	tx.touch(t)
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	stored := vals
 	copied := false
+	var blobAdded int64
 	for i, c := range t.schema.Columns {
 		if c.Type != ColVarBinaryMax || vals[i].IsNull() {
 			continue
@@ -56,7 +97,7 @@ func (t *Table) Insert(vals []Value) error {
 		enc := make([]byte, blob.RefSize)
 		ref.Encode(enc)
 		stored[i] = BinaryMaxValue(enc)
-		t.blobBytes += int64(len(vals[i].B))
+		blobAdded += int64(len(vals[i].B))
 	}
 	raw, err := encodeRow(&t.schema, stored)
 	if err != nil {
@@ -68,17 +109,253 @@ func (t *Table) Insert(vals []Value) error {
 	if err := t.tree.Insert(key, raw); err != nil {
 		return err
 	}
-	t.rows++
-	t.rowBytes += int64(len(raw))
+	t.rows.Add(1)
+	t.rowBytes.Add(int64(len(raw)))
+	t.blobBytes.Add(blobAdded)
 	return nil
 }
 
-// Get fetches the row with the given clustered key, fully decoded.
-func (t *Table) Get(key int64) ([]Value, error) {
+// Update overwrites the given columns of the row with the given
+// clustered key, as a single-statement write session.
+func (t *Table) Update(key int64, cols []int, vals []Value) error {
+	tx, err := t.db.Begin()
+	if err != nil {
+		return err
+	}
+	return tx.Close(t.UpdateTx(tx, key, cols, vals))
+}
+
+// UpdateTx overwrites columns cols (schema indexes) of the row with the
+// given key. A MAX column receives a fresh payload (the old blob is
+// freed and the new one written); setting the key column relocates the
+// row. Returns btree.ErrNotFound if the key is absent.
+func (t *Table) UpdateTx(tx *Tx, key int64, cols []int, vals []Value) error {
+	if len(cols) != len(vals) {
+		return fmt.Errorf("%w: %d columns for %d values", ErrTypeError, len(cols), len(vals))
+	}
+	tx.touch(t)
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	raw, err := t.tree.Get(key)
 	if err != nil {
-		return nil, err
+		return err
 	}
+	cur, err := t.decodeAll(raw)
+	if err != nil {
+		return err
+	}
+	set := make(map[int]Value, len(cols))
+	for i, c := range cols {
+		if c < 0 || c >= len(t.schema.Columns) {
+			return fmt.Errorf("%w: index %d", ErrNoColumn, c)
+		}
+		set[c] = vals[i]
+	}
+	// Stage blob rewrites: new payloads are written first; the old refs
+	// are freed only after the row image lands, so a failure part-way
+	// leaves the old blobs intact (the new ones are freed on unwind).
+	var freeOld, freeNew []blob.Ref
+	var blobDelta int64
+	next := append([]Value(nil), cur...)
+	for c, v := range set {
+		if t.schema.Columns[c].Type != ColVarBinaryMax {
+			next[c] = v
+			continue
+		}
+		oldV := cur[c]
+		if !oldV.IsNull() {
+			oldRef, err := blob.DecodeRef(oldV.B)
+			if err != nil {
+				return err
+			}
+			freeOld = append(freeOld, oldRef)
+			blobDelta -= oldRef.Length
+		}
+		if v.IsNull() {
+			next[c] = Null
+			continue
+		}
+		ref, err := t.db.blobs.Write(v.B)
+		if err != nil {
+			return fmt.Errorf("engine: writing MAX column %q: %w", t.schema.Columns[c].Name, err)
+		}
+		freeNew = append(freeNew, ref)
+		blobDelta += int64(len(v.B))
+		enc := make([]byte, blob.RefSize)
+		ref.Encode(enc)
+		next[c] = BinaryMaxValue(enc)
+	}
+	unwind := func(e error) error {
+		for _, r := range freeNew {
+			_ = t.db.blobs.Free(r)
+		}
+		return e
+	}
+	newRaw, err := encodeRow(&t.schema, next)
+	if err != nil {
+		return unwind(err)
+	}
+	if len(newRaw) > btree.MaxValueSize {
+		return unwind(fmt.Errorf("%w: %d bytes", ErrRowTooWide, len(newRaw)))
+	}
+	newKey, err := next[t.schema.Key].AsInt()
+	if err != nil {
+		return unwind(fmt.Errorf("engine: clustered key: %w", err))
+	}
+	if newKey != key {
+		if _, err := t.tree.Get(newKey); err == nil {
+			return unwind(fmt.Errorf("%w: %d", btree.ErrDuplicate, newKey))
+		} else if !errors.Is(err, btree.ErrNotFound) {
+			return unwind(err)
+		}
+		if err := t.tree.Delete(key); err != nil {
+			return unwind(err)
+		}
+		if err := t.tree.Insert(newKey, newRaw); err != nil {
+			// Try to restore the original row before surfacing the error.
+			_ = t.tree.Insert(key, raw)
+			return unwind(err)
+		}
+	} else if err := t.tree.Put(key, newRaw); err != nil {
+		return unwind(err)
+	}
+	for _, r := range freeOld {
+		if err := t.db.blobs.Free(r); err != nil {
+			return err
+		}
+	}
+	t.rowBytes.Add(int64(len(newRaw)) - int64(len(raw)))
+	t.blobBytes.Add(blobDelta)
+	return nil
+}
+
+// Delete removes the row with the given clustered key as a
+// single-statement write session.
+func (t *Table) Delete(key int64) error {
+	tx, err := t.db.Begin()
+	if err != nil {
+		return err
+	}
+	return tx.Close(t.DeleteTx(tx, key))
+}
+
+// DeleteTx removes a row, returning its out-of-page blobs to the free
+// list. Returns btree.ErrNotFound if the key is absent.
+func (t *Table) DeleteTx(tx *Tx, key int64) error {
+	tx.touch(t)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	raw, err := t.tree.Get(key)
+	if err != nil {
+		return err
+	}
+	cur, err := t.decodeAll(raw)
+	if err != nil {
+		return err
+	}
+	if err := t.tree.Delete(key); err != nil {
+		return err
+	}
+	var blobFreed int64
+	for i, c := range t.schema.Columns {
+		if c.Type != ColVarBinaryMax || cur[i].IsNull() {
+			continue
+		}
+		ref, err := blob.DecodeRef(cur[i].B)
+		if err != nil {
+			return err
+		}
+		if err := t.db.blobs.Free(ref); err != nil {
+			return err
+		}
+		blobFreed += ref.Length
+	}
+	t.rows.Add(-1)
+	t.rowBytes.Add(-int64(len(raw)))
+	t.blobBytes.Add(-blobFreed)
+	return nil
+}
+
+// UpdateBlobSubarray overwrites the subarray [offset, offset+size) of a
+// stored MAX array in place as a single-statement write session.
+func (t *Table) UpdateBlobSubarray(key int64, col int, offset, size []int, src *core.Array) error {
+	tx, err := t.db.Begin()
+	if err != nil {
+		return err
+	}
+	return tx.Close(t.UpdateBlobSubarrayTx(tx, key, col, offset, size, src))
+}
+
+// UpdateBlobSubarrayTx rewrites only the chunk pages the subarray's
+// byte runs touch — the write-side mirror of BlobSubarray's read
+// pushdown, and the engine form of the paper's UpdateArray UDFs that
+// "modify subarrays in place without rewriting whole blobs". The row
+// image is untouched (the blob ref does not change), so a subarray
+// update of a multi-gigabyte array logs and writes a handful of chunk
+// pages. src supplies the replacement elements in column-major order
+// and must match the stored element type and the product of size.
+func (t *Table) UpdateBlobSubarrayTx(tx *Tx, key int64, col int, offset, size []int, src *core.Array) error {
+	tx.touch(t)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if col < 0 || col >= len(t.schema.Columns) {
+		return fmt.Errorf("%w: index %d", ErrNoColumn, col)
+	}
+	if t.schema.Columns[col].Type != ColVarBinaryMax {
+		return fmt.Errorf("%w: column %q is %s, not VARBINARY(MAX)",
+			ErrTypeError, t.schema.Columns[col].Name, t.schema.Columns[col].Type)
+	}
+	raw, err := t.tree.Get(key)
+	if err != nil {
+		return err
+	}
+	var rv RowView
+	rv.reset(&t.schema, raw)
+	v, err := rv.Col(col)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return fmt.Errorf("%w: column %q is NULL at key %d", ErrNullValue, t.schema.Columns[col].Name, key)
+	}
+	ref, err := blob.DecodeRef(v.B)
+	if err != nil {
+		return err
+	}
+	h, hs, err := t.blobHeader(ref)
+	if err != nil {
+		return err
+	}
+	if int64(h.TotalBytes()) != ref.Length {
+		return fmt.Errorf("%w: header declares %d bytes, blob holds %d",
+			blob.ErrBadRef, h.TotalBytes(), ref.Length)
+	}
+	if src.ElemType() != h.Elem {
+		return fmt.Errorf("%w: assigning %s elements into a %s array",
+			ErrTypeError, src.ElemType(), h.Elem)
+	}
+	runs, err := core.SubarrayPlan(h, offset, size)
+	if err != nil {
+		return err
+	}
+	need := h.Elem.Size()
+	for _, d := range size {
+		need *= d
+	}
+	if len(src.Payload()) != need {
+		return fmt.Errorf("%w: subarray of %v needs %d bytes, value has %d",
+			ErrTypeError, size, need, len(src.Payload()))
+	}
+	blobRuns := make([]blob.Run, len(runs))
+	for i, r := range runs {
+		blobRuns[i] = blob.Run{SrcOff: r.SrcOff + hs, DstOff: r.DstOff, Len: r.Len}
+	}
+	return t.db.blobs.WriteRuns(ref, src.Payload(), blobRuns)
+}
+
+// decodeAll decodes every column of a raw row image. The returned
+// Values alias raw.
+func (t *Table) decodeAll(raw []byte) ([]Value, error) {
 	var rv RowView
 	rv.reset(&t.schema, raw)
 	out := make([]Value, len(t.schema.Columns))
@@ -87,17 +364,30 @@ func (t *Table) Get(key int64) ([]Value, error) {
 		if err != nil {
 			return nil, err
 		}
-		// Values alias raw, which we own here (tree.Get copies), so the
-		// caller may retain them.
 		out[i] = v
 	}
 	return out, nil
+}
+
+// Get fetches the row with the given clustered key, fully decoded.
+func (t *Table) Get(key int64) ([]Value, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	raw, err := t.tree.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	// Values alias raw, which we own here (tree.Get copies), so the
+	// caller may retain them.
+	return t.decodeAll(raw)
 }
 
 // Scan performs a clustered index scan, invoking fn for every row in key
 // order. The RowView (and any binary Values decoded from it) is only
 // valid inside the callback. Returning false stops the scan.
 func (t *Table) Scan(fn func(key int64, row *RowView) (bool, error)) error {
+	unlock := t.rlock()
+	defer unlock()
 	it, err := t.tree.Scan()
 	if err != nil {
 		return err
@@ -121,6 +411,8 @@ func (t *Table) Scan(fn func(key int64, row *RowView) (bool, error)) error {
 // ok=false for an empty table. The parallel scan planner partitions the
 // key space with this.
 func (t *Table) KeyBounds() (min, max int64, ok bool, err error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.tree.Bounds()
 }
 
@@ -156,14 +448,16 @@ type TableStats struct {
 
 // Stats walks the leaf chain to count pages and returns the footprint.
 func (t *Table) Stats() (TableStats, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	leaves, err := t.countLeafPages()
 	if err != nil {
 		return TableStats{}, err
 	}
 	return TableStats{
-		Rows:       t.rows,
-		RowBytes:   t.rowBytes,
-		BlobBytes:  t.blobBytes,
+		Rows:       t.rows.Load(),
+		RowBytes:   t.rowBytes.Load(),
+		BlobBytes:  t.blobBytes.Load(),
 		LeafPages:  leaves,
 		TreeHeight: t.tree.Height(),
 	}, nil

@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"sqlarray/internal/pages"
+	"sqlarray/internal/wal"
+)
+
+// This file implements the engine's write sessions — the unit of
+// durability. Every DML statement (and CREATE TABLE) runs inside a Tx:
+//
+//  1. Begin takes the database write lock (the engine is single-writer,
+//     like SQLite) and starts a buffer-pool capture, so every frame the
+//     statement dirties is recorded and marked unflushable.
+//  2. The statement mutates pages freely through the B-tree and blob
+//     layers; nothing it touches can reach the database file.
+//  3. Commit appends a full after-image of each dirtied page to the
+//     WAL, stamps the frames' pageLSNs, appends a commit record carrying
+//     the catalog delta (tree roots, row counts, new table schemas), and
+//     syncs the log — the WAL-before-flush protocol. Only then may the
+//     buffer pool write those frames to the database file.
+//
+// Redo is physical and idempotent: recovery replays committed page
+// images in log order, so it converges from any mix of flushed and
+// unflushed pages, and a torn database-file write is repaired by the
+// logged image. Records after the last commit record are an uncommitted
+// tail and are truncated away. No before-images (undo) are needed.
+
+// walTableState is the catalog entry logged in commit and checkpoint
+// records: everything needed to re-attach a table after recovery. Cols
+// is present only when the record introduces the table (CREATE TABLE or
+// a checkpoint snapshot).
+type walTableState struct {
+	Name      string      `json:"name"`
+	Cols      []walColumn `json:"cols,omitempty"`
+	Key       int         `json:"key,omitempty"`
+	Root      uint32      `json:"root"`
+	Height    int         `json:"height"`
+	Count     int         `json:"count"`
+	Rows      int64       `json:"rows"`
+	RowBytes  int64       `json:"rowBytes"`
+	BlobBytes int64       `json:"blobBytes"`
+}
+
+type walColumn struct {
+	Name string `json:"name"`
+	Type uint8  `json:"type"`
+}
+
+// walCatalog is the payload of commit records (delta: touched tables)
+// and checkpoint records (snapshot: all tables).
+type walCatalog struct {
+	Tables []walTableState `json:"tables"`
+}
+
+// Tx is a write session. It owns the database write lock from Begin to
+// Commit; all mutating Table methods take one (the convenience wrappers
+// open a single-statement session internally).
+type Tx struct {
+	db      *DB
+	cap     *pages.Capture
+	touched map[*Table]struct{}
+	created map[*Table]struct{}
+	done    bool
+}
+
+// Begin opens a write session, serializing against all other writers
+// and (when a WAL is attached) starting the dirty-frame capture.
+func (db *DB) Begin() (*Tx, error) {
+	db.writeMu.Lock()
+	tx := &Tx{
+		db:      db,
+		touched: make(map[*Table]struct{}),
+		created: make(map[*Table]struct{}),
+	}
+	if db.wal != nil {
+		c, err := db.bp.BeginCapture()
+		if err != nil {
+			db.writeMu.Unlock()
+			return nil, err
+		}
+		tx.cap = c
+	}
+	return tx, nil
+}
+
+// touch records that the session mutated t (its state goes into the
+// commit record's catalog delta).
+func (tx *Tx) touch(t *Table) { tx.touched[t] = struct{}{} }
+
+// noteCreated records that the session created t (its schema goes into
+// the commit record).
+func (tx *Tx) noteCreated(t *Table) {
+	tx.created[t] = struct{}{}
+	tx.touched[t] = struct{}{}
+}
+
+// Commit logs the session's page after-images and catalog delta, syncs
+// the WAL (unless the database was opened with NoSyncOnCommit), and
+// releases the write lock. Commit is idempotent; a Tx must not be used
+// after it.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return nil
+	}
+	tx.done = true
+	defer tx.db.writeMu.Unlock()
+	if tx.db.wal == nil {
+		return nil
+	}
+	l := tx.db.wal
+	frames := tx.db.bp.EndCapture(tx.cap)
+	var firstErr error
+	for _, f := range frames {
+		err := tx.db.bp.LogDirtyFrame(f, func(p *pages.Page) (uint64, error) {
+			lsn := uint64(l.NextLSN())
+			p.SetLSN(lsn)
+			p.UpdateChecksum()
+			payload := make([]byte, 4+pages.PageSize)
+			binary.LittleEndian.PutUint32(payload, uint32(p.ID))
+			copy(payload[4:], p.Buf[:])
+			got, err := l.Append(wal.RecPageImage, payload)
+			return uint64(got), err
+		})
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		// A page image failed to reach the log. Without it, a commit
+		// record would let recovery apply this group's catalog delta
+		// against stale pages — silent corruption. Leave the group
+		// uncommitted: recovery discards it wholesale, and the frames
+		// stay unlogged (unflushable), so the database degrades to
+		// read-only rather than diverging from its log.
+		return firstErr
+	}
+	if len(frames) == 0 && len(tx.touched) == 0 {
+		return nil // read-only session: nothing to commit
+	}
+	payload, err := json.Marshal(tx.catalogDelta())
+	if err != nil {
+		return fmt.Errorf("engine: encoding commit record: %w", err)
+	}
+	if _, err := l.Append(wal.RecCommit, payload); err != nil {
+		firstErr = err
+	}
+	if tx.db.syncOnCommit {
+		if err := l.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close commits the session and returns opErr if non-nil, the commit
+// error otherwise — the one-liner for single-statement wrappers. The
+// page images of a failed statement are still logged: the in-memory
+// state already reflects them, and redo-only recovery must converge to
+// it (there is no undo). Catalog counters are only as the statement
+// left them, so a failed statement persists exactly its partial effects,
+// matching what a crash-free process would observe.
+func (tx *Tx) Close(opErr error) error {
+	cerr := tx.Commit()
+	if opErr != nil {
+		return opErr
+	}
+	return cerr
+}
+
+// catalogDelta builds the commit record's table list.
+func (tx *Tx) catalogDelta() walCatalog {
+	var cat walCatalog
+	for t := range tx.touched {
+		_, isNew := tx.created[t]
+		cat.Tables = append(cat.Tables, t.walState(isNew))
+	}
+	return cat
+}
+
+// walState snapshots a table's catalog entry. withSchema includes the
+// column definitions (CREATE TABLE commits and checkpoint snapshots).
+func (t *Table) walState(withSchema bool) walTableState {
+	st := walTableState{
+		Name:      t.name,
+		Root:      uint32(t.tree.Root()),
+		Height:    t.tree.Height(),
+		Count:     t.tree.Len(),
+		Rows:      t.rows.Load(),
+		RowBytes:  t.rowBytes.Load(),
+		BlobBytes: t.blobBytes.Load(),
+	}
+	if withSchema {
+		st.Key = t.schema.Key
+		for _, c := range t.schema.Columns {
+			st.Cols = append(st.Cols, walColumn{Name: c.Name, Type: uint8(c.Type)})
+		}
+	}
+	return st
+}

@@ -64,6 +64,57 @@ type Frame struct {
 	dirty bool          // guarded by shard.mu
 	lru   *list.Element // guarded by shard.mu
 	shard *shard        // owning shard; frames never migrate
+	// pageLSN is the WAL LSN of the record holding the frame's latest
+	// logged image. The flush gate compares it against the log's durable
+	// LSN: a dirty frame may only reach the database file once its log
+	// record is durable (WAL-before-flush). Atomic so eviction scans can
+	// read it without extra synchronization beyond the shard lock.
+	pageLSN atomic.Uint64
+	// unlogged marks a frame dirtied by the active write session whose
+	// image has not been appended to the WAL yet. Such a frame must not
+	// be flushed or evicted under any circumstances — its changes exist
+	// nowhere but in memory. Guarded by shard.mu.
+	unlogged bool
+}
+
+// PageLSN returns the LSN of the frame's latest logged image (0 if the
+// frame was never logged).
+func (f *Frame) PageLSN() uint64 { return f.pageLSN.Load() }
+
+// WAL is the flush gate the buffer pool consults before writing a
+// dirty frame to the database file. Implemented by *wal.Log; declared
+// here so pages does not depend on the wal package.
+type WAL interface {
+	// DurableLSN returns the LSN below which every log record is
+	// durable.
+	DurableLSN() uint64
+	// Sync makes all appended records durable (raising DurableLSN).
+	Sync() error
+}
+
+// Capture collects the frames a write session dirties, so the session
+// can log their after-images at commit. Only one capture may be active
+// per pool; the engine's database-level write lock enforces that.
+type Capture struct {
+	mu     sync.Mutex
+	frames []*Frame
+	seen   map[*Frame]struct{}
+}
+
+func (c *Capture) add(f *Frame) {
+	c.mu.Lock()
+	if _, ok := c.seen[f]; !ok {
+		c.seen[f] = struct{}{}
+		c.frames = append(c.frames, f)
+	}
+	c.mu.Unlock()
+}
+
+// Frames returns the captured frames in first-dirtied order.
+func (c *Capture) Frames() []*Frame {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Frame(nil), c.frames...)
 }
 
 // shard is one lock stripe of the pool: an independent page table, LRU
@@ -85,12 +136,14 @@ type shard struct {
 // free list, so parallel scan workers fetching disjoint pages do not
 // serialize on a single pool lock.
 type BufferPool struct {
-	disk   DiskManager
-	cap    int
-	shards []*shard
-	shift  uint // 32 - log2(len(shards)); hash top bits pick the shard
-	stats  counters
-	verify atomic.Bool // verify checksums on physical read
+	disk    DiskManager
+	cap     int
+	shards  []*shard
+	shift   uint // 32 - log2(len(shards)); hash top bits pick the shard
+	stats   counters
+	verify  atomic.Bool // verify checksums on physical read
+	wal     WAL         // flush gate; nil = no durability protocol
+	capture atomic.Pointer[Capture]
 }
 
 const (
@@ -177,6 +230,54 @@ func (bp *BufferPool) shardFor(id PageID) *shard {
 // SetVerifyChecksums toggles checksum verification on physical reads.
 func (bp *BufferPool) SetVerifyChecksums(v bool) { bp.verify.Store(v) }
 
+// SetWAL attaches the write-ahead-log flush gate. Once set, a dirty
+// frame is written to the database file only when its pageLSN is below
+// the log's durable LSN, and frames dirtied by an active (uncommitted)
+// write session are never flushed at all.
+func (bp *BufferPool) SetWAL(w WAL) { bp.wal = w }
+
+// BeginCapture starts recording which frames the caller's writes dirty.
+// Exactly one capture may be active; the engine's write lock serializes
+// sessions, so a second concurrent capture is a bug.
+func (bp *BufferPool) BeginCapture() (*Capture, error) {
+	c := &Capture{seen: make(map[*Frame]struct{})}
+	if !bp.capture.CompareAndSwap(nil, c) {
+		return nil, fmt.Errorf("pages: a write capture is already active")
+	}
+	return c, nil
+}
+
+// EndCapture stops recording and returns the dirtied frames. The caller
+// must then log each frame (LogDirtyFrame) — until it does, the frames
+// stay unflushable.
+func (bp *BufferPool) EndCapture(c *Capture) []*Frame {
+	bp.capture.CompareAndSwap(c, nil)
+	return c.Frames()
+}
+
+// LogDirtyFrame locks the frame's shard and hands its page to fn, which
+// must append the page image to the WAL and return the assigned LSN.
+// On success the frame's pageLSN advances and its unlogged mark clears,
+// making it flushable once the log syncs. fn runs under the shard lock:
+// it may stamp the page header and read the buffer, but must not touch
+// the pool.
+func (bp *BufferPool) LogDirtyFrame(f *Frame, fn func(p *Page) (uint64, error)) error {
+	s := f.shard
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !f.dirty {
+		f.unlogged = false
+		return nil
+	}
+	lsn, err := fn(&f.Page)
+	if err != nil {
+		return err
+	}
+	f.pageLSN.Store(lsn)
+	f.unlogged = false
+	return nil
+}
+
 // Disk returns the underlying disk manager.
 func (bp *BufferPool) Disk() DiskManager { return bp.disk }
 
@@ -223,6 +324,8 @@ func (bp *BufferPool) Fetch(id PageID) (*Frame, error) {
 	}
 	f.pins.Store(1)
 	f.dirty = false
+	f.unlogged = false
+	f.pageLSN.Store(f.Page.LSN())
 	s.table[id] = f
 	s.mu.Unlock()
 	return f, nil
@@ -246,13 +349,25 @@ func (bp *BufferPool) NewPage(t PageType) (*Frame, error) {
 	f.Page.Init(t)
 	f.pins.Store(1)
 	f.dirty = true
+	f.unlogged = false
+	f.pageLSN.Store(0)
+	if c := bp.capture.Load(); c != nil {
+		f.unlogged = true
+		c.add(f)
+	}
 	s.table[id] = f
 	return f, nil
 }
 
-// victimLocked returns a free frame, evicting the shard's LRU unpinned
-// page if the stripe is full. The returned frame is not yet in the
-// table. Caller holds s.mu.
+// victimLocked returns a free frame, evicting the shard's coldest
+// evictable unpinned page if the stripe is full. The returned frame is
+// not yet in the table. Caller holds s.mu.
+//
+// With a WAL attached, a dirty frame is evictable only when its latest
+// logged image is durable (pageLSN < DurableLSN) — the WAL-before-flush
+// invariant — and a frame dirtied by the active uncommitted session
+// (unlogged) is never evictable. The scan walks from the LRU tail
+// toward warmer frames until it finds an evictable victim.
 func (s *shard) victimLocked(bp *BufferPool) (*Frame, error) {
 	if len(s.table) < s.cap {
 		if n := len(s.free); n > 0 {
@@ -262,25 +377,41 @@ func (s *shard) victimLocked(bp *BufferPool) (*Frame, error) {
 		}
 		return &Frame{shard: s}, nil
 	}
-	el := s.lru.Back()
-	if el == nil {
-		return nil, fmt.Errorf("pages: buffer pool exhausted: all %d frames of the stripe pinned (pool capacity %d over %d shards)",
-			s.cap, bp.cap, len(bp.shards))
-	}
-	f := el.Value.(*Frame)
-	// Flush a dirty victim BEFORE unhooking it: if the write-back fails,
-	// the frame stays cached (table + LRU) so the modified page is not
-	// lost — the caller sees the error and the data survives for a retry.
-	if f.dirty {
-		if err := bp.writeFrameLocked(f); err != nil {
-			return nil, err
+	for el := s.lru.Back(); el != nil; el = el.Prev() {
+		f := el.Value.(*Frame)
+		if f.dirty && !bp.flushableLocked(f) {
+			continue
 		}
+		// Flush a dirty victim BEFORE unhooking it: if the write-back
+		// fails, the frame stays cached (table + LRU) so the modified
+		// page is not lost — the caller sees the error and the data
+		// survives for a retry.
+		if f.dirty {
+			if err := bp.writeFrameLocked(f); err != nil {
+				return nil, err
+			}
+		}
+		s.lru.Remove(el)
+		f.lru = nil
+		delete(s.table, f.Page.ID)
+		bp.stats.evictions.Add(1)
+		return f, nil
 	}
-	s.lru.Remove(el)
-	f.lru = nil
-	delete(s.table, f.Page.ID)
-	bp.stats.evictions.Add(1)
-	return f, nil
+	return nil, fmt.Errorf("pages: buffer pool exhausted: all %d frames of the stripe pinned or awaiting WAL durability (pool capacity %d over %d shards)",
+		s.cap, bp.cap, len(bp.shards))
+}
+
+// flushableLocked reports whether a dirty frame may be written to the
+// database file under the WAL-before-flush protocol. Caller holds the
+// owning shard's mutex.
+func (bp *BufferPool) flushableLocked(f *Frame) bool {
+	if bp.wal == nil {
+		return true
+	}
+	if f.unlogged {
+		return false
+	}
+	return f.pageLSN.Load() < bp.wal.DurableLSN()
 }
 
 // writeFrameLocked flushes one frame to disk. Caller holds the owning
@@ -310,6 +441,10 @@ func (bp *BufferPool) Unpin(f *Frame, dirty bool) {
 	s.mu.Lock()
 	if dirty {
 		f.dirty = true
+		if c := bp.capture.Load(); c != nil {
+			f.unlogged = true
+			c.add(f)
+		}
 	}
 	if f.pins.Load() > 0 {
 		f.pins.Add(-1)
@@ -320,12 +455,25 @@ func (bp *BufferPool) Unpin(f *Frame, dirty bool) {
 	s.mu.Unlock()
 }
 
-// FlushAll writes every dirty cached page to disk (checkpoint).
+// FlushAll writes every dirty cached page to disk — the flush half of a
+// checkpoint. With a WAL attached it first syncs the log (so every
+// pageLSN is durable and the WAL-before-flush invariant holds for each
+// write), and refuses outright if any dirty frame belongs to an active
+// uncommitted write session.
 func (bp *BufferPool) FlushAll() error {
+	if bp.wal != nil {
+		if err := bp.wal.Sync(); err != nil {
+			return err
+		}
+	}
 	for _, s := range bp.shards {
 		s.mu.Lock()
 		for _, f := range s.table {
 			if f.dirty {
+				if f.unlogged {
+					s.mu.Unlock()
+					return fmt.Errorf("pages: page %d dirty but unlogged (write session active during flush)", f.Page.ID)
+				}
 				if err := bp.writeFrameLocked(f); err != nil {
 					s.mu.Unlock()
 					return err
@@ -345,6 +493,11 @@ func (bp *BufferPool) FlushAll() error {
 // no-pins invariant is checked across the whole pool, and only then is
 // the cache cleared.
 func (bp *BufferPool) DropCleanBuffers() error {
+	if bp.wal != nil {
+		if err := bp.wal.Sync(); err != nil {
+			return err
+		}
+	}
 	for _, s := range bp.shards {
 		s.mu.Lock()
 	}
@@ -357,6 +510,9 @@ func (bp *BufferPool) DropCleanBuffers() error {
 		for id, f := range s.table {
 			if f.pins.Load() > 0 {
 				return fmt.Errorf("pages: page %d still pinned", id)
+			}
+			if f.unlogged {
+				return fmt.Errorf("pages: page %d dirty but unlogged (write session active)", id)
 			}
 		}
 	}
@@ -372,6 +528,8 @@ func (bp *BufferPool) DropCleanBuffers() error {
 		for _, f := range s.table {
 			f.lru = nil
 			f.dirty = false
+			f.unlogged = false
+			f.pageLSN.Store(0)
 			s.free = append(s.free, f)
 		}
 		s.table = make(map[PageID]*Frame, s.cap)

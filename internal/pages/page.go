@@ -140,6 +140,16 @@ func (p *Page) Prev() PageID { return PageID(binary.LittleEndian.Uint32(p.Buf[of
 // SetPrev stores the previous-page link.
 func (p *Page) SetPrev(id PageID) { binary.LittleEndian.PutUint32(p.Buf[offPrev:], uint32(id)) }
 
+// LSN returns the page's log sequence number: the WAL position of the
+// record holding this page's image when it was last logged. Zero means
+// the page predates the WAL (or was never logged).
+func (p *Page) LSN() uint64 { return binary.LittleEndian.Uint64(p.Buf[offLSN:]) }
+
+// SetLSN stamps the page's log sequence number; the engine calls it
+// just before appending the page image to the WAL, so the logged image
+// carries its own LSN.
+func (p *Page) SetLSN(v uint64) { binary.LittleEndian.PutUint64(p.Buf[offLSN:], v) }
+
 // Owner returns the owning object id (table or index).
 func (p *Page) Owner() uint32 { return binary.LittleEndian.Uint32(p.Buf[offOwner:]) }
 

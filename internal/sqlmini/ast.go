@@ -5,7 +5,49 @@ import (
 	"strings"
 )
 
-// SelectStmt is the single statement form the dialect supports:
+// Statement is a parsed SQL statement: SELECT, INSERT, UPDATE or
+// DELETE. ParseStatement returns one; Execute runs it.
+type Statement interface {
+	stmtNode()
+}
+
+func (*SelectStmt) stmtNode() {}
+func (*InsertStmt) stmtNode() {}
+func (*UpdateStmt) stmtNode() {}
+func (*DeleteStmt) stmtNode() {}
+
+// InsertStmt is INSERT INTO t [(col, ...)] VALUES (expr, ...)[, ...].
+// Without a column list the tuples are positional over the full schema.
+type InsertStmt struct {
+	Table   string
+	Columns []string // nil = positional
+	Rows    [][]Expr
+}
+
+// Assignment is one SET clause item of an UPDATE. Target is either a
+// *ColRef (plain column assignment) or — after arraysugar translation
+// of `SET arr[lo:hi, ...] = expr` — a *FuncCall naming Subarray or
+// Item_N over a column, which the executor turns into an in-place
+// subarray update.
+type Assignment struct {
+	Target Expr
+	Value  Expr
+}
+
+// UpdateStmt is UPDATE t SET assignment[, ...] [WHERE expr].
+type UpdateStmt struct {
+	Table string
+	Sets  []Assignment
+	Where Expr
+}
+
+// DeleteStmt is DELETE FROM t [WHERE expr].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// SelectStmt is the query statement form of the dialect:
 //
 //	SELECT [TOP n] item [, item ...]
 //	FROM table [WITH (NOLOCK)]

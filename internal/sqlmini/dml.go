@@ -1,0 +1,630 @@
+package sqlmini
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"sqlarray/internal/btree"
+	"sqlarray/internal/core"
+	"sqlarray/internal/engine"
+)
+
+// This file executes the write half of the dialect: INSERT, UPDATE and
+// DELETE, compiled through the same expression compiler and sargable
+// key-range analysis the SELECT planner uses. UPDATE and DELETE run in
+// two phases — a read phase that scans the (pushed-down) key range and
+// materializes the new values, then a write phase inside one engine
+// write session — so the scan never chases rows it just moved (the
+// classic Halloween problem) and a WHERE on the clustered key descends
+// the B+tree instead of scanning the table.
+//
+// Array-subscript assignment rides the §8 pre-parser: arraysugar turns
+//
+//	UPDATE t SET arr[2:5] = FloatArray.Vector_3(1,2,3) WHERE id = 7
+//
+// into a Subarray(...) call in target position, which the executor
+// recognizes and lowers to Table.UpdateBlobSubarray — rewriting only
+// the chunk pages the slice touches on MAX columns, or patching the
+// in-row bytes for short arrays.
+
+// ExecResult is the outcome of Execute: a materialized result set for
+// SELECT, a rows-affected count for DML.
+type ExecResult struct {
+	Result       *Result // nil for DML statements
+	RowsAffected int64
+}
+
+// Execute parses and runs any supported statement.
+func Execute(db *engine.DB, sql string) (*ExecResult, error) {
+	return ExecuteWith(db, sql, ExecOptions{})
+}
+
+// ExecuteWith is Execute with explicit execution options (which only
+// affect the SELECT path).
+func ExecuteWith(db *engine.DB, sql string, opts ExecOptions) (*ExecResult, error) {
+	stmt, err := ParseStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	return ExecuteStmt(db, stmt, opts)
+}
+
+// ExecuteStmt runs a parsed statement.
+func ExecuteStmt(db *engine.DB, stmt Statement, opts ExecOptions) (*ExecResult, error) {
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		res, err := ExecWith(db, s, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &ExecResult{Result: res, RowsAffected: int64(len(res.Rows))}, nil
+	case *InsertStmt:
+		return execInsert(db, s)
+	case *UpdateStmt:
+		return execUpdate(db, s)
+	case *DeleteStmt:
+		return execDelete(db, s)
+	}
+	return nil, fmt.Errorf("sql: unsupported statement %T", stmt)
+}
+
+// exprHasColRef reports whether an expression references a column.
+func exprHasColRef(e Expr) bool {
+	switch n := e.(type) {
+	case *ColRef:
+		return true
+	case *BinaryExpr:
+		return exprHasColRef(n.L) || exprHasColRef(n.R)
+	case *UnaryExpr:
+		return exprHasColRef(n.X)
+	case *FuncCall:
+		for _, a := range n.Args {
+			if exprHasColRef(a) {
+				return true
+			}
+		}
+	case *AggCall:
+		if n.Arg != nil {
+			return exprHasColRef(n.Arg)
+		}
+	}
+	return false
+}
+
+// copyValue deep-copies binary payloads so a collected value survives
+// the scan that produced it (row views alias pinned pages).
+func copyValue(v engine.Value) engine.Value {
+	if (v.Kind == engine.ColVarBinary || v.Kind == engine.ColVarBinaryMax) && v.B != nil {
+		v.B = append([]byte(nil), v.B...)
+	}
+	return v
+}
+
+// ---- INSERT -------------------------------------------------------------
+
+func execInsert(db *engine.DB, stmt *InsertStmt) (*ExecResult, error) {
+	tbl, err := db.Table(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tbl.Schema()
+	// Column mapping: positional over the full schema, or the named
+	// subset (unmentioned columns become NULL).
+	colIdx := make([]int, 0, len(schema.Columns))
+	if stmt.Columns == nil {
+		for i := range schema.Columns {
+			colIdx = append(colIdx, i)
+		}
+	} else {
+		seen := make(map[int]bool)
+		for _, name := range stmt.Columns {
+			i := schema.ColIndex(name)
+			if i < 0 {
+				return nil, fmt.Errorf("%w: %q", engine.ErrNoColumn, name)
+			}
+			if seen[i] {
+				return nil, fmt.Errorf("sql: column %q listed twice", name)
+			}
+			seen[i] = true
+			colIdx = append(colIdx, i)
+		}
+	}
+	cc := &compileCtx{db: db, tbl: tbl, schema: schema, used: make([]bool, len(schema.Columns))}
+	rows := make([][]engine.Value, 0, len(stmt.Rows))
+	for _, tuple := range stmt.Rows {
+		if len(tuple) != len(colIdx) {
+			return nil, fmt.Errorf("sql: %d values for %d columns", len(tuple), len(colIdx))
+		}
+		vals := make([]engine.Value, len(schema.Columns)) // zero Value = NULL
+		for j, e := range tuple {
+			if exprHasColRef(e) {
+				return nil, fmt.Errorf("sql: column reference in INSERT value")
+			}
+			if hasAggregate(e) {
+				return nil, fmt.Errorf("sql: aggregate in INSERT value")
+			}
+			c, err := cc.compile(e, false)
+			if err != nil {
+				return nil, err
+			}
+			v, err := c.eval(&rowCtx{})
+			if err != nil {
+				return nil, err
+			}
+			vals[colIdx[j]] = v
+		}
+		rows = append(rows, vals)
+	}
+	tx, err := db.Begin()
+	if err != nil {
+		return nil, err
+	}
+	var n int64
+	for _, vals := range rows {
+		if err := tbl.InsertTx(tx, vals); err != nil {
+			return nil, tx.Close(fmt.Errorf("sql: INSERT row %d: %w", n+1, err))
+		}
+		n++
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	return &ExecResult{RowsAffected: n}, nil
+}
+
+// ---- UPDATE -------------------------------------------------------------
+
+// assignKind distinguishes the SET target forms.
+type assignKind uint8
+
+const (
+	assignColumn   assignKind = iota // SET col = expr
+	assignSubarray                   // SET Schema.Subarray(col, offs, sizes[, collapse]) = expr
+	assignItem                       // SET Schema.Item_N(col, i0, ..) = expr
+)
+
+// compiledAssign is one SET clause ready to evaluate per matching row.
+type compiledAssign struct {
+	kind  assignKind
+	col   int
+	value compiled
+	offs  compiled   // assignSubarray: IntVector expression
+	sizes compiled   // assignSubarray: IntVector expression
+	idxs  []compiled // assignItem: index expressions
+}
+
+// subUpdate is a materialized in-place subarray write for one row.
+type subUpdate struct {
+	col     int
+	offset  []int
+	size    []int
+	src     *core.Array
+	blobCol bool
+}
+
+// rowUpdate is everything the write phase applies to one row.
+type rowUpdate struct {
+	key  int64
+	cols []int
+	vals []engine.Value
+	subs []subUpdate
+}
+
+// compileAssignTarget classifies a SET target expression.
+func compileAssignTarget(cc *compileCtx, a Assignment) (*compiledAssign, error) {
+	switch tgt := a.Target.(type) {
+	case *ColRef:
+		idx := cc.schema.ColIndex(tgt.Name)
+		if idx < 0 {
+			return nil, fmt.Errorf("%w: %q", engine.ErrNoColumn, tgt.Name)
+		}
+		return &compiledAssign{kind: assignColumn, col: idx}, nil
+	case *FuncCall:
+		name := tgt.Name
+		if dot := strings.LastIndexByte(name, '.'); dot >= 0 {
+			name = name[dot+1:]
+		}
+		switch {
+		case name == "subarray":
+			if len(tgt.Args) != 3 && len(tgt.Args) != 4 {
+				return nil, fmt.Errorf("sql: subarray SET target wants (col, offsets, sizes[, collapse])")
+			}
+		case strings.HasPrefix(name, "item_"):
+			if len(tgt.Args) < 2 {
+				return nil, fmt.Errorf("sql: item SET target wants (col, index...)")
+			}
+		default:
+			return nil, fmt.Errorf("sql: %q is not assignable", ExprString(a.Target))
+		}
+		colRef, ok := tgt.Args[0].(*ColRef)
+		if !ok {
+			return nil, fmt.Errorf("sql: subscript assignment target must be a column, got %q", ExprString(tgt.Args[0]))
+		}
+		idx := cc.schema.ColIndex(colRef.Name)
+		if idx < 0 {
+			return nil, fmt.Errorf("%w: %q", engine.ErrNoColumn, colRef.Name)
+		}
+		ct := cc.schema.Columns[idx].Type
+		if ct != engine.ColVarBinary && ct != engine.ColVarBinaryMax {
+			return nil, fmt.Errorf("%w: subscript assignment to %s column %q",
+				engine.ErrTypeError, ct, colRef.Name)
+		}
+		ca := &compiledAssign{col: idx}
+		if name == "subarray" {
+			ca.kind = assignSubarray
+			var err error
+			if ca.offs, err = cc.compile(tgt.Args[1], false); err != nil {
+				return nil, err
+			}
+			if ca.sizes, err = cc.compile(tgt.Args[2], false); err != nil {
+				return nil, err
+			}
+		} else {
+			ca.kind = assignItem
+			for _, e := range tgt.Args[1:] {
+				c, err := cc.compile(e, false)
+				if err != nil {
+					return nil, err
+				}
+				ca.idxs = append(ca.idxs, c)
+			}
+		}
+		return ca, nil
+	}
+	return nil, fmt.Errorf("sql: %q is not assignable", ExprString(a.Target))
+}
+
+// evalIntVector evaluates an expression expected to yield an integer
+// index vector (IntArray.Vector_N value).
+func evalIntVector(c compiled, ctx *rowCtx) ([]int, error) {
+	v, err := c.eval(ctx)
+	if err != nil {
+		return nil, err
+	}
+	b, err := v.AsBinary()
+	if err != nil {
+		return nil, fmt.Errorf("sql: subscript vector: %w", err)
+	}
+	a, err := core.Wrap(b)
+	if err != nil {
+		return nil, fmt.Errorf("sql: subscript vector: %w", err)
+	}
+	return a.Ints(), nil
+}
+
+// assignValueArray converts an evaluated RHS into the source array for
+// a subarray write: a binary value is wrapped (and must match the
+// element type); a numeric scalar becomes a one-element array of the
+// stored type.
+func assignValueArray(v engine.Value, elem core.ElemType, n int) (*core.Array, error) {
+	switch v.Kind {
+	case engine.ColVarBinary, engine.ColVarBinaryMax:
+		a, err := core.Wrap(append([]byte(nil), v.B...))
+		if err != nil {
+			return nil, err
+		}
+		if a.ElemType() != elem {
+			return nil, fmt.Errorf("%w: assigning %s elements into a %s array",
+				engine.ErrTypeError, a.ElemType(), elem)
+		}
+		if a.Len() != n {
+			return nil, fmt.Errorf("%w: subarray wants %d elements, value has %d",
+				engine.ErrTypeError, n, a.Len())
+		}
+		return a, nil
+	case engine.ColInt64, engine.ColFloat64:
+		if n != 1 {
+			return nil, fmt.Errorf("%w: scalar assigned to a %d-element subarray", engine.ErrTypeError, n)
+		}
+		a, err := core.New(core.Short, elem, 1)
+		if err != nil {
+			return nil, err
+		}
+		switch elem {
+		case core.Complex64, core.Complex128:
+			f, err := v.AsFloat()
+			if err != nil {
+				return nil, err
+			}
+			a.SetComplexAt(0, complex(f, 0))
+		case core.Int8, core.Int16, core.Int32, core.Int64:
+			i, err := v.AsInt()
+			if err != nil {
+				return nil, err
+			}
+			a.SetIntAt(0, i)
+		default:
+			f, err := v.AsFloat()
+			if err != nil {
+				return nil, err
+			}
+			a.SetFloatAt(0, f)
+		}
+		return a, nil
+	}
+	return nil, fmt.Errorf("%w: cannot assign %v into an array", engine.ErrTypeError, v.Kind)
+}
+
+// elemCount multiplies a size vector.
+func elemCount(size []int) int {
+	n := 1
+	for _, d := range size {
+		n *= d
+	}
+	return n
+}
+
+// execUpdate runs the two-phase UPDATE.
+func execUpdate(db *engine.DB, stmt *UpdateStmt) (*ExecResult, error) {
+	tbl, err := db.Table(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tbl.Schema()
+	cc := &compileCtx{db: db, tbl: tbl, schema: schema, used: make([]bool, len(schema.Columns))}
+	assigns := make([]*compiledAssign, 0, len(stmt.Sets))
+	for _, a := range stmt.Sets {
+		if hasAggregate(a.Value) {
+			return nil, fmt.Errorf("sql: aggregate in SET value")
+		}
+		ca, err := compileAssignTarget(cc, a)
+		if err != nil {
+			return nil, err
+		}
+		if ca.value, err = cc.compile(a.Value, false); err != nil {
+			return nil, err
+		}
+		assigns = append(assigns, ca)
+	}
+	updates, err := collectUpdates(db, tbl, stmt.Where, cc, assigns)
+	if err != nil {
+		return nil, err
+	}
+	// Write phase: one session for the whole statement.
+	tx, err := db.Begin()
+	if err != nil {
+		return nil, err
+	}
+	var n int64
+rows:
+	for _, u := range updates {
+		// Subarray writes go first: they address the row by its current
+		// key, and a plain-column update in the same statement may
+		// relocate it (SET id = ...). A NotFound on the first write
+		// means the row vanished between the read and write phases —
+		// skip it without counting; later writes of the same row cannot
+		// miss (the session holds the write lock throughout).
+		touched := false
+		for _, s := range u.subs {
+			if err := tbl.UpdateBlobSubarrayTx(tx, u.key, s.col, s.offset, s.size, s.src); err != nil {
+				if errors.Is(err, btree.ErrNotFound) && !touched {
+					continue rows
+				}
+				return nil, tx.Close(err)
+			}
+			touched = true
+		}
+		if len(u.cols) > 0 {
+			if err := tbl.UpdateTx(tx, u.key, u.cols, u.vals); err != nil {
+				if errors.Is(err, btree.ErrNotFound) && !touched {
+					continue rows
+				}
+				return nil, tx.Close(err)
+			}
+		}
+		n++
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	return &ExecResult{RowsAffected: n}, nil
+}
+
+// collectUpdates is the read phase: scan the pushed-down key range,
+// evaluate the residual predicate and the SET expressions per matching
+// row, and materialize everything the write phase needs.
+func collectUpdates(db *engine.DB, tbl *engine.Table, where Expr, cc *compileCtx, assigns []*compiledAssign) ([]rowUpdate, error) {
+	var updates []rowUpdate
+	err := scanMatching(db, tbl, where, cc, func(ctx *rowCtx) error {
+		u := rowUpdate{key: ctx.key}
+		for _, ca := range assigns {
+			switch ca.kind {
+			case assignColumn:
+				v, err := ca.value.eval(ctx)
+				if err != nil {
+					return err
+				}
+				u.cols = append(u.cols, ca.col)
+				u.vals = append(u.vals, copyValue(v))
+			case assignSubarray, assignItem:
+				sub, plain, err := evalSubAssign(tbl, cc.schema, ca, ctx)
+				if err != nil {
+					return err
+				}
+				if sub != nil {
+					u.subs = append(u.subs, *sub)
+				} else {
+					u.cols = append(u.cols, ca.col)
+					u.vals = append(u.vals, plain)
+				}
+			}
+		}
+		updates = append(updates, u)
+		return nil
+	})
+	return updates, err
+}
+
+// evalSubAssign evaluates a subscript assignment for the current row.
+// MAX columns yield a subUpdate (in-place chunk writes); short inline
+// columns yield a patched whole-column value (plain assignment), since
+// their bytes live in the row image anyway.
+func evalSubAssign(tbl *engine.Table, schema *engine.Schema, ca *compiledAssign, ctx *rowCtx) (*subUpdate, engine.Value, error) {
+	var offset, size []int
+	if ca.kind == assignSubarray {
+		var err error
+		if offset, err = evalIntVector(ca.offs, ctx); err != nil {
+			return nil, engine.Null, err
+		}
+		if size, err = evalIntVector(ca.sizes, ctx); err != nil {
+			return nil, engine.Null, err
+		}
+	} else {
+		for _, c := range ca.idxs {
+			v, err := c.eval(ctx)
+			if err != nil {
+				return nil, engine.Null, err
+			}
+			i, err := v.AsInt()
+			if err != nil {
+				return nil, engine.Null, err
+			}
+			offset = append(offset, int(i))
+			size = append(size, 1)
+		}
+	}
+	if len(offset) != len(size) {
+		return nil, engine.Null, fmt.Errorf("sql: subscript offset rank %d != size rank %d", len(offset), len(size))
+	}
+	cur, err := columnValue(ctx, ca.col)
+	if err != nil {
+		return nil, engine.Null, err
+	}
+	if cur.IsNull() {
+		return nil, engine.Null, fmt.Errorf("%w: subscript assignment to NULL column %q",
+			engine.ErrNullValue, schema.Columns[ca.col].Name)
+	}
+	if schema.Columns[ca.col].Type == engine.ColVarBinaryMax {
+		// cur.B is the 12-byte ref (target columns are not compiled
+		// through cMaxCol, so no payload materialization happened).
+		h, _, err := tbl.BlobHeader(cur.B)
+		if err != nil {
+			return nil, engine.Null, err
+		}
+		rhs, err := ca.value.eval(ctx)
+		if err != nil {
+			return nil, engine.Null, err
+		}
+		src, err := assignValueArray(rhs, h.Elem, elemCount(size))
+		if err != nil {
+			return nil, engine.Null, err
+		}
+		return &subUpdate{col: ca.col, offset: offset, size: size, src: src, blobCol: true},
+			engine.Null, nil
+	}
+	// Short inline array: patch a copy of the row bytes.
+	arr, err := core.Wrap(append([]byte(nil), cur.B...))
+	if err != nil {
+		return nil, engine.Null, err
+	}
+	rhs, err := ca.value.eval(ctx)
+	if err != nil {
+		return nil, engine.Null, err
+	}
+	src, err := assignValueArray(rhs, arr.ElemType(), elemCount(size))
+	if err != nil {
+		return nil, engine.Null, err
+	}
+	runs, err := core.SubarrayPlan(arr.Header(), offset, size)
+	if err != nil {
+		return nil, engine.Null, err
+	}
+	dst, sp := arr.Payload(), src.Payload()
+	for _, r := range runs {
+		copy(dst[r.SrcOff:r.SrcOff+r.Len], sp[r.DstOff:])
+	}
+	return nil, engine.BinaryValue(arr.Bytes()), nil
+}
+
+// columnValue reads a raw column value for the current row (the stored
+// form: a blob ref for MAX columns, not the payload).
+func columnValue(ctx *rowCtx, col int) (engine.Value, error) {
+	if ctx.row == nil {
+		return engine.Null, fmt.Errorf("sql: internal: no row in DML scan context")
+	}
+	return ctx.row.Col(col)
+}
+
+// ---- DELETE -------------------------------------------------------------
+
+func execDelete(db *engine.DB, stmt *DeleteStmt) (*ExecResult, error) {
+	tbl, err := db.Table(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tbl.Schema()
+	cc := &compileCtx{db: db, tbl: tbl, schema: schema, used: make([]bool, len(schema.Columns))}
+	var keys []int64
+	if err := scanMatching(db, tbl, stmt.Where, cc, func(ctx *rowCtx) error {
+		keys = append(keys, ctx.key)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	tx, err := db.Begin()
+	if err != nil {
+		return nil, err
+	}
+	var n int64
+	for _, k := range keys {
+		if err := tbl.DeleteTx(tx, k); err != nil {
+			if errors.Is(err, btree.ErrNotFound) {
+				continue
+			}
+			return nil, tx.Close(err)
+		}
+		n++
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	return &ExecResult{RowsAffected: n}, nil
+}
+
+// scanMatching runs the shared read phase: extract sargable key bounds
+// from the WHERE tree, compile the residual, and stream the range
+// through a cursor, invoking fn for each matching row.
+func scanMatching(db *engine.DB, tbl *engine.Table, where Expr, cc *compileCtx, fn func(ctx *rowCtx) error) error {
+	if where != nil && hasAggregate(where) {
+		return fmt.Errorf("sql: aggregates are not allowed in WHERE")
+	}
+	bounds := unboundedKeys()
+	residual := where
+	if where != nil {
+		bounds, residual = extractKeyBounds(where, cc.schema)
+	}
+	if bounds.empty {
+		return nil
+	}
+	var pred compiled
+	if residual != nil {
+		var err error
+		if pred, err = cc.compile(residual, false); err != nil {
+			return err
+		}
+	}
+	cur, err := tbl.CursorRange(bounds.loKey(), bounds.hiKey())
+	if err != nil {
+		return err
+	}
+	defer cur.Close()
+	ctx := &rowCtx{}
+	for cur.Next() {
+		ctx.key = cur.Key()
+		ctx.row = cur.Row()
+		if pred != nil {
+			ok, err := pred.eval(ctx)
+			if err != nil {
+				return err
+			}
+			if !truthy(ok) {
+				continue
+			}
+		}
+		if err := fn(ctx); err != nil {
+			return err
+		}
+	}
+	return cur.Err()
+}

@@ -28,6 +28,8 @@ var keywords = map[string]bool{
 	"AS": true, "AND": true, "OR": true, "NOT": true, "TOP": true,
 	"NULL": true, "NOLOCK": true, "COUNT": true, "SUM": true,
 	"AVG": true, "MIN": true, "MAX": true, "LIMIT": true,
+	"INSERT": true, "INTO": true, "VALUES": true,
+	"UPDATE": true, "SET": true, "DELETE": true,
 }
 
 type token struct {

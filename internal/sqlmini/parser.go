@@ -22,6 +22,170 @@ func Parse(src string) (*SelectStmt, error) {
 	return stmt, nil
 }
 
+// ParseStatement parses any supported statement: SELECT, INSERT,
+// UPDATE or DELETE.
+func ParseStatement(src string) (Statement, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmt Statement
+	switch t := p.peek(); {
+	case t.kind == tokKeyword && t.text == "SELECT":
+		stmt, err = p.selectStmt()
+	case t.kind == tokKeyword && t.text == "INSERT":
+		stmt, err = p.insertStmt()
+	case t.kind == tokKeyword && t.text == "UPDATE":
+		stmt, err = p.updateStmt()
+	case t.kind == tokKeyword && t.text == "DELETE":
+		stmt, err = p.deleteStmt()
+	default:
+		return nil, errAt(t.pos, "expected SELECT, INSERT, UPDATE or DELETE, got %q", t.text)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, errAt(p.peek().pos, "unexpected %q after statement", p.peek().text)
+	}
+	return stmt, nil
+}
+
+func (p *parser) tableName() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", errAt(t.pos, "expected table name, got %q", t.text)
+	}
+	return p.next().text, nil
+}
+
+// insertStmt parses INSERT INTO t [(col, ...)] VALUES (tuple)[, ...].
+func (p *parser) insertStmt() (*InsertStmt, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	stmt := &InsertStmt{}
+	var err error
+	if stmt.Table, err = p.tableName(); err != nil {
+		return nil, err
+	}
+	if p.acceptPunct("(") {
+		for {
+			t := p.peek()
+			if t.kind != tokIdent {
+				return nil, errAt(t.pos, "expected column name, got %q", t.text)
+			}
+			stmt.Columns = append(stmt.Columns, p.next().text)
+			if p.acceptPunct(",") {
+				continue
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var tuple []Expr
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			tuple = append(tuple, e)
+			if p.acceptPunct(",") {
+				continue
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+		stmt.Rows = append(stmt.Rows, tuple)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	return stmt, nil
+}
+
+// updateStmt parses UPDATE t SET target = expr[, ...] [WHERE expr].
+// A SET target is parsed as a primary expression, so both plain columns
+// and the arraysugar-translated Subarray/Item_N calls (the subscripted
+// l-value forms) come through.
+func (p *parser) updateStmt() (*UpdateStmt, error) {
+	if err := p.expectKeyword("UPDATE"); err != nil {
+		return nil, err
+	}
+	stmt := &UpdateStmt{}
+	var err error
+	if stmt.Table, err = p.tableName(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		target, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		if t := p.peek(); t.kind != tokOp || t.text != "=" {
+			return nil, errAt(t.pos, "expected = after SET target, got %q", t.text)
+		}
+		p.next()
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Sets = append(stmt.Sets, Assignment{Target: target, Value: val})
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	return stmt, nil
+}
+
+// deleteStmt parses DELETE FROM t [WHERE expr].
+func (p *parser) deleteStmt() (*DeleteStmt, error) {
+	if err := p.expectKeyword("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	stmt := &DeleteStmt{}
+	var err error
+	if stmt.Table, err = p.tableName(); err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	return stmt, nil
+}
+
 type parser struct {
 	toks  []token
 	i     int

@@ -46,6 +46,7 @@ import (
 	"sqlarray/internal/pages"
 	"sqlarray/internal/sqlmini"
 	"sqlarray/internal/tsql"
+	"sqlarray/internal/wal"
 )
 
 // Array is the array data type: a validated view over a serialized
@@ -133,21 +134,63 @@ type Database struct {
 // Options configures a database (disk backing, buffer pool size).
 type Options = engine.Options
 
+// WALOptions re-exports the write-ahead-log tuning knobs.
+type WALOptions = wal.Options
+
+// NewWAL opens (or recovers) a write-ahead log in dir; pass the result
+// as Options.WAL to make the database durable.
+func NewWAL(dir string, opts WALOptions) (*wal.Log, error) {
+	st, err := wal.NewDirStorage(dir)
+	if err != nil {
+		return nil, err
+	}
+	return wal.Open(st, opts)
+}
+
+// NewMemWAL opens a write-ahead log over in-memory storage — durability
+// protocol without a filesystem, which is what sqlsh and the recovery
+// tests use.
+func NewMemWAL() *wal.Log {
+	l, err := wal.Open(wal.NewMemStorage(), wal.Options{})
+	if err != nil {
+		panic(err) // empty in-memory storage cannot fail to open
+	}
+	return l
+}
+
 // NewDatabase creates an in-memory database ready for queries.
 func NewDatabase() *Database {
 	return NewDatabaseWith(Options{})
 }
 
 // NewDatabaseWith creates a database with explicit storage options.
+// With Options.WAL set it runs crash recovery first; a recovery failure
+// panics — use OpenDatabase to handle it.
 func NewDatabaseWith(opts Options) *Database {
-	db := engine.NewDB(opts)
+	db, err := OpenDatabase(opts)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// OpenDatabase opens a database, recovering from the WAL when one is
+// attached: committed DML since the last checkpoint is replayed and the
+// uncommitted log tail discarded.
+func OpenDatabase(opts Options) (*Database, error) {
+	db, err := engine.Open(opts)
+	if err != nil {
+		return nil, err
+	}
 	tsql.RegisterAll(db)
 	if s, err := engine.NewSchema(engine.Column{Name: "id", Type: engine.ColInt64}); err == nil {
+		// Recovered databases already have dual; CreateTable then fails
+		// and the seed row is skipped.
 		if dual, err := db.CreateTable("dual", s); err == nil {
 			_ = dual.Insert([]engine.Value{engine.IntValue(1)})
 		}
 	}
-	return &Database{DB: db}
+	return &Database{DB: db}, nil
 }
 
 // Query parses and executes a SELECT statement, materializing the full
@@ -175,6 +218,30 @@ func (d *Database) QueryRowsWith(sql string, opts ExecOptions) (*Rows, error) {
 // (e.g. forcing or disabling parallel aggregate scans).
 func (d *Database) QueryWith(sql string, opts ExecOptions) (*Result, error) {
 	return sqlmini.RunWith(d.DB, sql, opts)
+}
+
+// ExecResult is the outcome of Exec: a result set for SELECT, a
+// rows-affected count for DML.
+type ExecResult = sqlmini.ExecResult
+
+// Exec parses and runs any supported statement — SELECT, INSERT,
+// UPDATE (including in-place subarray assignment) or DELETE. DML runs
+// as one write session: with a WAL attached, the statement's page
+// after-images and catalog delta are logged and synced before Exec
+// returns.
+func (d *Database) Exec(sql string) (*ExecResult, error) {
+	return sqlmini.Execute(d.DB, sql)
+}
+
+// ExecArray is Exec with the §8 subscript sugar translated first:
+// `UPDATE t SET arr[2:5] = ... WHERE id = 7` lowers to an in-place
+// subarray update that rewrites only the chunk pages the slice touches.
+func (d *Database) ExecArray(sql string, cols ArrayColumns) (*ExecResult, error) {
+	translated, err := arraysugar.Translate(sql, cols)
+	if err != nil {
+		return nil, err
+	}
+	return sqlmini.Execute(d.DB, translated)
 }
 
 // ArrayColumns maps column names to their array schemas for the
