@@ -1,0 +1,107 @@
+// Command sqlarraylint runs the project's invariant analyzers (pinleak,
+// latchorder, atomicfield, durasync, ctxloop) as a `go vet` tool:
+//
+//	go build -o bin/sqlarraylint ./cmd/sqlarraylint
+//	go vet -vettool=$(pwd)/bin/sqlarraylint ./...
+//
+// It speaks cmd/go's vettool protocol directly (the -V=full version
+// handshake, the -flags JSON handshake, and the vet.cfg unit file), so it
+// needs no dependency on golang.org/x/tools. Individual analyzers can be
+// selected the same way as vet checks: `go vet -vettool=... -pinleak ./...`
+// runs only pinleak; with no selection every analyzer runs.
+//
+// A config path can also be passed directly for debugging:
+//
+//	sqlarraylint /path/to/vet.cfg
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"sqlarray/internal/analysis"
+)
+
+const version = "sqlarraylint version v1.0.0"
+
+func main() {
+	// The -V flag must be handled before flag parsing quirks: cmd/go
+	// invokes `tool -V=full` to build its cache key.
+	for _, arg := range os.Args[1:] {
+		if arg == "-V=full" || arg == "-V" || arg == "--V=full" {
+			fmt.Println(version)
+			return
+		}
+	}
+
+	fs := flag.NewFlagSet("sqlarraylint", flag.ExitOnError)
+	analyzers := analysis.All()
+	sel := map[string]*bool{}
+	for _, a := range analyzers {
+		sel[a.Name] = fs.Bool(a.Name, false, a.Doc)
+	}
+	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON (cmd/go handshake)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: sqlarraylint [-analyzer...] vet.cfg\n\nanalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  -%-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+
+	if *printFlags {
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		var out []jsonFlag
+		for _, a := range analyzers {
+			out = append(out, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+		}
+		data, err := json.MarshalIndent(out, "", "\t")
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+		return
+	}
+
+	// No explicit selection → run the whole suite.
+	enabled := map[string]bool{}
+	any := false
+	for name, on := range sel {
+		if *on {
+			enabled[name] = true
+			any = true
+		}
+	}
+	if !any {
+		for _, a := range analyzers {
+			enabled[a.Name] = true
+		}
+	}
+
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	n, err := analysis.RunUnit(fs.Arg(0), enabled, os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
+	if n > 0 {
+		os.Exit(2) // diagnostics reported; cmd/go prints them and fails the vet run
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "sqlarraylint: %v\n", err)
+	os.Exit(1)
+}

@@ -183,7 +183,11 @@ func createDemoTable(db *sqlarray.Database) error {
 // printRows streams the result: each row is printed as it comes off the
 // operator pipeline, so a TOP n over a huge table prints immediately.
 func printRows(rows *sqlarray.Rows) {
-	defer rows.Close()
+	defer func() {
+		if err := rows.Close(); err != nil {
+			fmt.Println("close error:", err)
+		}
+	}()
 	fmt.Println(strings.Join(rows.Columns(), " | "))
 	n := 0
 	for rows.Next() {

@@ -1,0 +1,253 @@
+// Package analyzertest is a minimal analogue of
+// golang.org/x/tools/go/analysis/analysistest: it loads GOPATH-style
+// fixture packages from a testdata directory, runs one analyzer over
+// them, and matches the diagnostics against `// want "regexp"` comments
+// in the fixture sources.
+//
+// Fixture layout: <testdata>/src/<importpath>/*.go. Fixture packages may
+// import each other by those short paths ("pages", "engine"), which lets
+// them mock just enough of the real engine's shape to trigger the
+// type-matched analyzers; standard-library imports are type-checked from
+// GOROOT source.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sqlarray/internal/analysis"
+)
+
+// loadedPkg is one type-checked fixture package.
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader resolves imports first against <root>/src, then the standard
+// library (compiled from GOROOT source, so no export data is needed).
+type loader struct {
+	fset *token.FileSet
+	root string
+	std  types.Importer
+	pkgs map[string]*loadedPkg
+}
+
+func newLoader(fset *token.FileSet, root string) *loader {
+	return &loader{
+		fset: fset,
+		root: root,
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: map[string]*loadedPkg{},
+	}
+}
+
+func (l *loader) Import(path string) (*types.Package, error) {
+	p, err := l.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return p.pkg, nil
+}
+
+func (l *loader) load(path string) (*loadedPkg, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.root, "src", filepath.FromSlash(path))
+	st, err := os.Stat(dir)
+	if err != nil || !st.IsDir() {
+		pkg, err := l.std.Import(path)
+		if err != nil {
+			return nil, fmt.Errorf("import %q: not in testdata and not stdlib: %v", path, err)
+		}
+		p := &loadedPkg{pkg: pkg}
+		l.pkgs[path] = p
+		return p, nil
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	cfg := &types.Config{Importer: l}
+	pkg, err := cfg.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking fixture %q: %v", path, err)
+	}
+	p := &loadedPkg{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// want is one expectation extracted from a fixture comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("// want (.*)$")
+
+// collectWants scans fixture files for `// want "re"` (or backquoted)
+// comments; several patterns may follow one want.
+func collectWants(fset *token.FileSet, files []*ast.File) ([]*want, error) {
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					var lit string
+					var err error
+					switch rest[0] {
+					case '"':
+						end := matchEnd(rest, '"')
+						if end < 0 {
+							return nil, fmt.Errorf("%s:%d: unterminated want pattern", pos.Filename, pos.Line)
+						}
+						lit, err = strconv.Unquote(rest[:end+1])
+						rest = strings.TrimSpace(rest[end+1:])
+					case '`':
+						end := matchEnd(rest, '`')
+						if end < 0 {
+							return nil, fmt.Errorf("%s:%d: unterminated want pattern", pos.Filename, pos.Line)
+						}
+						lit = rest[1:end]
+						rest = strings.TrimSpace(rest[end+1:])
+					default:
+						return nil, fmt.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+					}
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern: %v", pos.Filename, pos.Line, err)
+					}
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: lit})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// matchEnd returns the index of the closing quote q in s (which starts
+// with q), or -1. Escapes are honored for double quotes.
+func matchEnd(s string, q byte) int {
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' && q == '"' {
+			i++
+			continue
+		}
+		if s[i] == q {
+			return i
+		}
+	}
+	return -1
+}
+
+// Run loads each fixture package, runs a over it, and matches diagnostics
+// against the fixtures' want comments. testdata defaults to
+// "testdata/<analyzer-name>" relative to the caller's directory.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	root, err := filepath.Abs(testdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	l := newLoader(fset, root)
+
+	for _, path := range paths {
+		p, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %q: %v", path, err)
+		}
+		pass := analysis.NewPass(a, fset, p.files, p.pkg, p.info)
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("analyzer %s on %q: %v", a.Name, path, err)
+		}
+		diags := pass.Diagnostics()
+
+		wants, err := collectWants(fset, p.files)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, d := range diags {
+			pos := fset.Position(d.Pos)
+			found := false
+			for _, w := range wants {
+				if w.matched || w.file != pos.Filename || w.line != pos.Line {
+					continue
+				}
+				if w.re.MatchString(d.Message) {
+					w.matched = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s:%d:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, pos.Column, d.Message)
+			}
+		}
+		var unmatched []*want
+		for _, w := range wants {
+			if !w.matched {
+				unmatched = append(unmatched, w)
+			}
+		}
+		sort.Slice(unmatched, func(i, j int) bool {
+			if unmatched[i].file != unmatched[j].file {
+				return unmatched[i].file < unmatched[j].file
+			}
+			return unmatched[i].line < unmatched[j].line
+		})
+		for _, w := range unmatched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}

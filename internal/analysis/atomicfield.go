@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Atomicfield enforces atomic-only access to fields that carry concurrent
+// counters or LSNs:
+//
+// Rule A — fields whose type lives in sync/atomic (atomic.Uint64,
+// atomic.Int32, ...) must never be copied by value: a copy tears the value
+// out of the synchronization domain and silently reads a stale snapshot
+// (and `go vet -copylocks` does not catch a plain field read, only struct
+// copies). Loads must go through .Load(), and the only legal bare uses of
+// such a selector are calling a method on it, taking its address, or
+// selecting deeper into it.
+//
+// Rule B — plain integer fields annotated `//lint:atomic` on their
+// declaration (the documented convention for pre-Go-1.19-style counters)
+// must only be accessed via sync/atomic functions taking their address.
+// Any direct read, write, or ++/-- on such a field is flagged.
+var Atomicfield = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields documented or typed as atomic must never be read or written non-atomically",
+	Run:  runAtomicfield,
+}
+
+func isSyncAtomicType(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// markedFields collects struct fields whose declaration carries a
+// `//lint:atomic` comment (same line or line above), keyed by *types.Var.
+func markedFields(p *Pass) map[*types.Var]bool {
+	marks := map[string]bool{} // "file:line" of each //lint:atomic comment
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, "//lint:atomic") {
+					pos := p.Fset.Position(c.Pos())
+					marks[pos.Filename] = true // file has at least one mark
+					marks[key(pos.Filename, pos.Line)] = true
+				}
+			}
+		}
+	}
+	out := map[*types.Var]bool{}
+	if len(marks) == 0 {
+		return out
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					pos := p.Fset.Position(name.Pos())
+					if marks[key(pos.Filename, pos.Line)] || marks[key(pos.Filename, pos.Line-1)] {
+						if v, ok := p.TypesInfo.Defs[name].(*types.Var); ok {
+							out[v] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func key(file string, line int) string {
+	return file + ":" + itoa(line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func runAtomicfield(p *Pass) error {
+	marked := markedFields(p)
+
+	// parents maps each node to its parent so a selector can see how it
+	// is used (address-taken, called, assigned, ...).
+	for _, f := range p.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fld := fieldOf(p.TypesInfo, sel)
+			if fld == nil {
+				return true
+			}
+			parent := parentOf(stack)
+			if isSyncAtomicType(fld.Type()) {
+				checkAtomicTyped(p, sel, parent, fld)
+			} else if marked[fld] {
+				checkMarked(p, sel, parent, fld, stack)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldOf returns the struct field a selector resolves to, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var)
+}
+
+func parentOf(stack []ast.Node) ast.Node {
+	if len(stack) < 2 {
+		return nil
+	}
+	return stack[len(stack)-2]
+}
+
+// checkAtomicTyped flags value copies of a sync/atomic-typed field.
+// Legal parents: &sel, sel.Method(...), sel.deeper, *ast.SelectorExpr as
+// the Fun of a call (method call), or being the X of another selector.
+func checkAtomicTyped(p *Pass, sel *ast.SelectorExpr, parent ast.Node, fld *types.Var) {
+	switch pn := parent.(type) {
+	case *ast.UnaryExpr:
+		if pn.Op == token.AND {
+			return // address-taken: passing &c.hits to a helper is fine
+		}
+	case *ast.SelectorExpr:
+		// Either sel.Method (call below) or selecting a deeper field.
+		if pn.X == sel {
+			return
+		}
+	case *ast.StarExpr:
+		return // (*p).field chains
+	}
+	p.Reportf(sel.Pos(), "field %s has atomic type %s and is copied by value; use .Load() (or take its address)",
+		fld.Name(), types.TypeString(fld.Type(), types.RelativeTo(p.Pkg)))
+}
+
+// checkMarked flags non-atomic access to a //lint:atomic plain field. The
+// only legal use is &sel passed as an argument to a sync/atomic function.
+func checkMarked(p *Pass, sel *ast.SelectorExpr, parent ast.Node, fld *types.Var, stack []ast.Node) {
+	if ue, ok := parent.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+		// &sel — legal only as an argument of atomic.XXX(...).
+		if len(stack) >= 3 {
+			if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && isSyncAtomicCall(p.TypesInfo, call) {
+				return
+			}
+		}
+		p.Reportf(sel.Pos(), "address of //lint:atomic field %s escapes outside sync/atomic; all access must go through atomic operations", fld.Name())
+		return
+	}
+	p.Reportf(sel.Pos(), "//lint:atomic field %s accessed non-atomically; use sync/atomic operations on &%s", fld.Name(), fld.Name())
+}
+
+func isSyncAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := info.Uses[id].(*types.PkgName); ok {
+			return pn.Imported().Path() == "sync/atomic"
+		}
+	}
+	return false
+}

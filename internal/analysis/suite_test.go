@@ -1,0 +1,109 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"sqlarray/internal/analysis"
+	"sqlarray/internal/analysis/analyzertest"
+)
+
+func TestPinleak(t *testing.T) {
+	analyzertest.Run(t, "testdata/pinleak", analysis.Pinleak, "a")
+}
+
+func TestLatchorder(t *testing.T) {
+	analyzertest.Run(t, "testdata/latchorder", analysis.Latchorder, "pages", "engine")
+}
+
+func TestAtomicfield(t *testing.T) {
+	analyzertest.Run(t, "testdata/atomicfield", analysis.Atomicfield, "a")
+}
+
+func TestDurasync(t *testing.T) {
+	analyzertest.Run(t, "testdata/durasync", analysis.Durasync, "a")
+}
+
+func TestCtxloop(t *testing.T) {
+	analyzertest.Run(t, "testdata/ctxloop", analysis.Ctxloop, "sqlmini")
+}
+
+// checkSrc typechecks one self-contained source and runs a over it,
+// returning the diagnostic messages.
+func checkSrc(t *testing.T, a *analysis.Analyzer, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	cfg := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := cfg.Check("x", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := analysis.NewPass(a, fset, []*ast.File{f}, pkg, info)
+	if err := a.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, d := range pass.Diagnostics() {
+		msgs = append(msgs, d.Message)
+	}
+	return msgs
+}
+
+func TestLintdirectiveUnknownAnalyzer(t *testing.T) {
+	msgs := checkSrc(t, analysis.Lintdirective, `package x
+
+func f() {
+	_ = 1 //lint:allow nosuchanalyzer this analyzer does not exist
+	_ = 2 //lint:allow durasync a perfectly fine directive
+}
+`)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], `unknown analyzer "nosuchanalyzer"`) {
+		t.Fatalf("got %q, want one unknown-analyzer diagnostic", msgs)
+	}
+}
+
+func TestLintdirectiveMissingReason(t *testing.T) {
+	msgs := checkSrc(t, analysis.Lintdirective, `package x
+
+func f() {
+	_ = 1 //lint:allow durasync
+}
+`)
+	if len(msgs) != 1 || !strings.Contains(msgs[0], "needs an analyzer name and a reason") {
+		t.Fatalf("got %q, want one malformed-directive diagnostic", msgs)
+	}
+}
+
+// A suppression for analyzer A must not silence analyzer B.
+func TestAllowIsPerAnalyzer(t *testing.T) {
+	src := `package x
+
+import "sync/atomic"
+
+type c struct{ n atomic.Uint64 }
+
+func f(v *c) {
+	x := v.n //lint:allow durasync wrong analyzer named here
+	_ = x
+}
+`
+	msgs := checkSrc(t, analysis.Atomicfield, src)
+	if len(msgs) != 1 {
+		t.Fatalf("want the atomicfield diagnostic to survive a durasync allow, got %q", msgs)
+	}
+}

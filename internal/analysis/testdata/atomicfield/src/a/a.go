@@ -1,0 +1,54 @@
+package a
+
+import "sync/atomic"
+
+type counters struct {
+	hits atomic.Uint64
+	//lint:atomic guarded by convention; accessed via atomic.AddUint64/LoadUint64
+	legacy uint64
+	plain  int
+}
+
+// Rule A: a sync/atomic-typed field must not be copied by value.
+func badCopy(c *counters) {
+	x := c.hits // want `atomic type .* copied by value`
+	_ = x
+}
+
+func badCompare(c *counters) bool {
+	return c.hits == c.hits // want `copied by value` `copied by value`
+}
+
+func goodLoad(c *counters) uint64 { return c.hits.Load() }
+
+func goodAdd(c *counters) { c.hits.Add(1) }
+
+func goodAddr(c *counters) *atomic.Uint64 { return &c.hits }
+
+// Rule B: //lint:atomic plain fields only via sync/atomic.
+func badLegacyRead(c *counters) uint64 {
+	return c.legacy // want `accessed non-atomically`
+}
+
+func badLegacyWrite(c *counters) {
+	c.legacy = 1 // want `accessed non-atomically`
+}
+
+func badLegacyAddr(c *counters) *uint64 {
+	return &c.legacy // want `escapes outside sync/atomic`
+}
+
+func goodLegacy(c *counters) uint64 {
+	atomic.AddUint64(&c.legacy, 1)
+	return atomic.LoadUint64(&c.legacy)
+}
+
+// unannotated plain fields are unconstrained.
+func goodPlain(c *counters) int {
+	c.plain++
+	return c.plain
+}
+
+func suppressedRead(c *counters) uint64 {
+	return c.legacy //lint:allow atomicfield single-threaded startup path in this fixture
+}

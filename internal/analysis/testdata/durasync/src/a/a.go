@@ -1,0 +1,51 @@
+package a
+
+import (
+	"wal"
+)
+
+// discarding a durability error as a bare statement.
+func bad(l *wal.Log) {
+	l.Sync() // want `statement discards the error of Log\.Sync`
+}
+
+func badDefer(l *wal.Log) {
+	defer l.Close() // want `defer discards the error of Log\.Close`
+}
+
+func badGo(l *wal.Log) {
+	go l.Sync() // want `go statement discards the error of Log\.Sync`
+}
+
+func badCheckpoint(l *wal.Log) {
+	l.Checkpoint(nil) // want `statement discards the error of Log\.Checkpoint`
+}
+
+// explicit discard is a deliberate, visible decision.
+func okExplicit(l *wal.Log) {
+	_, _ = l.Checkpoint(nil)
+}
+
+func okChecked(l *wal.Log) error {
+	return l.Sync()
+}
+
+func okIf(l *wal.Log) {
+	if err := l.Sync(); err != nil {
+		panic(err)
+	}
+}
+
+// the named-return merge is the preferred shape for deferred closes.
+func okMerge(l *wal.Log) (err error) {
+	defer func() {
+		if cerr := l.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return l.Sync()
+}
+
+func suppressedClose(l *wal.Log) {
+	defer l.Close() //lint:allow durasync close error is reported by the caller in this fixture
+}

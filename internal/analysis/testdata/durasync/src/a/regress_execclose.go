@@ -1,0 +1,36 @@
+package a
+
+import "sqlmini"
+
+// Regression fixture for a real bug this suite caught on its first run
+// over the repo: the executor's Exec helper (internal/sqlmini/exec.go)
+// wrote `defer rows.Close()`, dropping the close error — but Rows.Close
+// is what releases the scan's page pins and surfaces a failed early
+// close, so its error must merge into the function result. cmd/sqlsh's
+// printRows and three test helpers had the same shape.
+func execLike(db *sqlmini.DB) error {
+	rows, err := db.Query("SELECT 1")
+	if err != nil {
+		return err
+	}
+	defer rows.Close() // want `defer discards the error of Rows\.Close`
+	for rows.Next() {
+	}
+	return rows.Err()
+}
+
+// the shape the executor uses after the fix.
+func execFixed(db *sqlmini.DB) (err error) {
+	rows, qerr := db.Query("SELECT 1")
+	if qerr != nil {
+		return qerr
+	}
+	defer func() {
+		if cerr := rows.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	for rows.Next() {
+	}
+	return rows.Err()
+}

@@ -1,0 +1,12 @@
+// Package sqlmini mocks the executor's streaming result surface.
+package sqlmini
+
+type DB struct{}
+
+func (db *DB) Query(q string) (*Rows, error) { return &Rows{}, nil }
+
+type Rows struct{}
+
+func (r *Rows) Next() bool   { return false }
+func (r *Rows) Err() error   { return nil }
+func (r *Rows) Close() error { return nil }

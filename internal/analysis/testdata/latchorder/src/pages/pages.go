@@ -1,0 +1,37 @@
+// Package pages mocks the pool's lock stripes for the latchorder tests.
+package pages
+
+import "sync"
+
+type Frame struct{}
+
+type shard struct {
+	mu sync.Mutex
+}
+
+type BufferPool struct {
+	shards []shard
+}
+
+func (bp *BufferPool) Fetch(id uint64) (*Frame, error) { return &Frame{}, nil }
+func (bp *BufferPool) Unpin(f *Frame, dirty bool)      {}
+
+func (bp *BufferPool) lockShard(s *shard) {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// bad: re-entering the stripe level while a stripe is held self-deadlocks.
+func (bp *BufferPool) badNested(s *shard) {
+	s.mu.Lock()
+	bp.lockShard(s) // want `call may acquire pool shard\.mu while pool shard\.mu is held`
+	s.mu.Unlock()
+}
+
+// good: strictly sequential stripe use.
+func (bp *BufferPool) goodSequential(a, b *shard) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}

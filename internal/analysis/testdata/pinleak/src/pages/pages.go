@@ -1,0 +1,16 @@
+// Package pages mocks the real buffer pool's shape: just enough surface
+// (types, method names, signatures) for the type-matched analyzers to
+// trigger on the short import path "pages".
+package pages
+
+type PageID uint64
+
+type Frame struct{ ID PageID }
+
+func (f *Frame) Data() []byte { return nil }
+
+type BufferPool struct{}
+
+func (bp *BufferPool) Fetch(id PageID) (*Frame, error) { return &Frame{ID: id}, nil }
+func (bp *BufferPool) NewPage() (*Frame, error)        { return &Frame{}, nil }
+func (bp *BufferPool) Unpin(f *Frame, dirty bool)      {}

@@ -283,6 +283,7 @@ func TestEvictionWriteBackFailureKeepsDirtyPage(t *testing.T) {
 		t.Fatal(err)
 	}
 	d.failWrites = true
+	//lint:allow pinleak the fetch must fail on the unflushable victim and pins nothing
 	if _, err := bp.Fetch(id2); err == nil {
 		t.Fatal("Fetch must fail when the dirty victim cannot be flushed")
 	}

@@ -238,11 +238,13 @@ func TestBufferPoolPinnedExhaustion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//lint:allow pinleak exhaustion is the point: the call must fail and pin nothing
 	if _, err := bp.NewPage(TypeData); err == nil {
 		t.Error("expected exhaustion with all frames pinned")
 	}
 	bp.Unpin(f1, false)
 	bp.Unpin(f2, false)
+	//lint:allow pinleak deliberate terminal pin; the pool is discarded with the test
 	if _, err := bp.NewPage(TypeData); err != nil {
 		t.Errorf("after unpin: %v", err)
 	}
@@ -310,6 +312,7 @@ func TestBufferPoolChecksumVerification(t *testing.T) {
 	if err := d.WritePage(id, raw); err != nil {
 		t.Fatal(err)
 	}
+	//lint:allow pinleak the corrupted fetch fails the checksum and pins nothing
 	if _, err := bp.Fetch(id); !errors.Is(err, ErrChecksum) {
 		t.Errorf("corrupted fetch: %v", err)
 	}

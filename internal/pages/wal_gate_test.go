@@ -55,6 +55,7 @@ func TestEvictionRespectsDurableLSN(t *testing.T) {
 
 	// With durable = 0 no dirty frame may be flushed: allocating a third
 	// page must fail rather than evict one.
+	//lint:allow pinleak the WAL gate must reject the allocation, so nothing is pinned
 	if _, err := bp.NewPage(TypeData); err == nil {
 		t.Fatal("NewPage evicted a frame whose pageLSN exceeds the durable LSN")
 	}

@@ -1,6 +1,7 @@
 package sqlmini
 
 import (
+	"context"
 	"sync/atomic"
 
 	"sqlarray/internal/engine"
@@ -165,6 +166,7 @@ type batchOperator interface {
 // values off the pinned page into the batch arena.
 type batchScanOp struct {
 	tbl    *engine.Table
+	qctx   context.Context
 	lo, hi int64
 	need   []bool
 	cur    *engine.Cursor
@@ -182,6 +184,9 @@ func (s *batchScanOp) open() error {
 func (s *batchScanOp) nextBatch(b *Batch) (int, error) {
 	if s.cur == nil {
 		return 0, nil
+	}
+	if err := pollCancel(s.qctx); err != nil {
+		return 0, err
 	}
 	return fillFromCursor(s.cur, b, s.need)
 }
@@ -231,6 +236,7 @@ func fillFromCursor(cur *engine.Cursor, b *Batch, need []bool) (int, error) {
 // batch before end of stream.
 type batchFilterOp struct {
 	child batchOperator
+	qctx  context.Context
 	pred  compiled
 	sel   []int
 }
@@ -239,6 +245,9 @@ func (f *batchFilterOp) open() error { return f.child.open() }
 
 func (f *batchFilterOp) nextBatch(b *Batch) (int, error) {
 	for {
+		if err := pollCancel(f.qctx); err != nil {
+			return 0, err
+		}
 		n, err := f.child.nextBatch(b)
 		if n == 0 || err != nil {
 			return 0, err
@@ -289,6 +298,7 @@ func filterBatch(pred compiled, b *Batch, n int, selScratch *[]int) (int, error)
 // then emits a single-row batch carrying the aggregate results.
 type batchAggOp struct {
 	child batchOperator
+	qctx  context.Context
 	accs  []*accumulator
 	done  bool
 }
@@ -301,6 +311,9 @@ func (a *batchAggOp) nextBatch(b *Batch) (int, error) {
 	}
 	a.done = true
 	for {
+		if err := pollCancel(a.qctx); err != nil {
+			return 0, err
+		}
 		n, err := a.child.nextBatch(b)
 		if err != nil {
 			return 0, err
@@ -338,6 +351,7 @@ func (a *batchAggOp) close() error { return a.child.close() }
 // accumulating whole batches), and the partials merge in partition order.
 type batchParallelAggOp struct {
 	tbl       *engine.Table
+	qctx      context.Context
 	lo, hi    int64
 	workers   int
 	batchSize int
@@ -355,7 +369,7 @@ func (p *batchParallelAggOp) nextBatch(b *Batch) (int, error) {
 	}
 	p.done = true
 
-	if err := runPartitions(p.lo, p.hi, p.workers, p.newWorker, p.scanPartition, p.accs); err != nil {
+	if err := runPartitions(p.qctx, p.lo, p.hi, p.workers, p.newWorker, p.scanPartition, p.accs); err != nil {
 		return 0, err
 	}
 	b.n = 1
@@ -551,6 +565,7 @@ func (l *batchLimitOp) close() error { return l.child.close() }
 // yields the projected rows individually.
 type batchDrainOp struct {
 	root      batchOperator
+	qctx      context.Context
 	batchSize int
 	b         *Batch
 	i, n      int
@@ -564,6 +579,9 @@ func (d *batchDrainOp) next() (*rowCtx, error) {
 	for d.i >= d.n {
 		if d.done {
 			return nil, nil
+		}
+		if err := pollCancel(d.qctx); err != nil {
+			return nil, err
 		}
 		d.b.reset(d.batchSize)
 		n, err := d.root.nextBatch(d.b)

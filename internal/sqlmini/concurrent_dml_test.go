@@ -95,7 +95,9 @@ func TestConcurrentDMLAndParallelScans(t *testing.T) {
 				if err := rows.Err(); err != nil {
 					fail(fmt.Errorf("reader proj rows: %w", err))
 				}
-				rows.Close()
+				if err := rows.Close(); err != nil {
+					fail(fmt.Errorf("reader proj close: %w", err))
+				}
 			}
 		}(r)
 	}

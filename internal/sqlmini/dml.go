@@ -1,6 +1,7 @@
 package sqlmini
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -40,8 +41,9 @@ func Execute(db *engine.DB, sql string) (*ExecResult, error) {
 	return ExecuteWith(db, sql, ExecOptions{})
 }
 
-// ExecuteWith is Execute with explicit execution options (which only
-// affect the SELECT path).
+// ExecuteWith is Execute with explicit execution options. Pipeline
+// tuning applies to the SELECT path only; ExecOptions.Ctx also cancels
+// the read phase of UPDATE and DELETE.
 func ExecuteWith(db *engine.DB, sql string, opts ExecOptions) (*ExecResult, error) {
 	stmt, err := ParseStatement(sql)
 	if err != nil {
@@ -62,9 +64,9 @@ func ExecuteStmt(db *engine.DB, stmt Statement, opts ExecOptions) (*ExecResult, 
 	case *InsertStmt:
 		return execInsert(db, s)
 	case *UpdateStmt:
-		return execUpdate(db, s)
+		return execUpdate(db, s, opts.Ctx)
 	case *DeleteStmt:
-		return execDelete(db, s)
+		return execDelete(db, s, opts.Ctx)
 	}
 	return nil, fmt.Errorf("sql: unsupported statement %T", stmt)
 }
@@ -355,8 +357,9 @@ func elemCount(size []int) int {
 	return n
 }
 
-// execUpdate runs the two-phase UPDATE.
-func execUpdate(db *engine.DB, stmt *UpdateStmt) (*ExecResult, error) {
+// execUpdate runs the two-phase UPDATE. qctx (may be nil) cancels the
+// read phase.
+func execUpdate(db *engine.DB, stmt *UpdateStmt, qctx context.Context) (*ExecResult, error) {
 	tbl, err := db.Table(stmt.Table)
 	if err != nil {
 		return nil, err
@@ -377,7 +380,7 @@ func execUpdate(db *engine.DB, stmt *UpdateStmt) (*ExecResult, error) {
 		}
 		assigns = append(assigns, ca)
 	}
-	updates, err := collectUpdates(db, tbl, stmt.Where, cc, assigns)
+	updates, err := collectUpdates(db, tbl, stmt.Where, cc, assigns, qctx)
 	if err != nil {
 		return nil, err
 	}
@@ -424,9 +427,9 @@ rows:
 // collectUpdates is the read phase: scan the pushed-down key range,
 // evaluate the residual predicate and the SET expressions per matching
 // row, and materialize everything the write phase needs.
-func collectUpdates(db *engine.DB, tbl *engine.Table, where Expr, cc *compileCtx, assigns []*compiledAssign) ([]rowUpdate, error) {
+func collectUpdates(db *engine.DB, tbl *engine.Table, where Expr, cc *compileCtx, assigns []*compiledAssign, qctx context.Context) ([]rowUpdate, error) {
 	var updates []rowUpdate
-	err := scanMatching(db, tbl, where, cc, func(ctx *rowCtx) error {
+	err := scanMatching(db, tbl, where, cc, qctx, func(ctx *rowCtx) error {
 		u := rowUpdate{key: ctx.key}
 		for _, ca := range assigns {
 			switch ca.kind {
@@ -548,7 +551,7 @@ func columnValue(ctx *rowCtx, col int) (engine.Value, error) {
 
 // ---- DELETE -------------------------------------------------------------
 
-func execDelete(db *engine.DB, stmt *DeleteStmt) (*ExecResult, error) {
+func execDelete(db *engine.DB, stmt *DeleteStmt, qctx context.Context) (*ExecResult, error) {
 	tbl, err := db.Table(stmt.Table)
 	if err != nil {
 		return nil, err
@@ -556,7 +559,7 @@ func execDelete(db *engine.DB, stmt *DeleteStmt) (*ExecResult, error) {
 	schema := tbl.Schema()
 	cc := &compileCtx{db: db, tbl: tbl, schema: schema, used: make([]bool, len(schema.Columns))}
 	var keys []int64
-	if err := scanMatching(db, tbl, stmt.Where, cc, func(ctx *rowCtx) error {
+	if err := scanMatching(db, tbl, stmt.Where, cc, qctx, func(ctx *rowCtx) error {
 		keys = append(keys, ctx.key)
 		return nil
 	}); err != nil {
@@ -584,8 +587,9 @@ func execDelete(db *engine.DB, stmt *DeleteStmt) (*ExecResult, error) {
 
 // scanMatching runs the shared read phase: extract sargable key bounds
 // from the WHERE tree, compile the residual, and stream the range
-// through a cursor, invoking fn for each matching row.
-func scanMatching(db *engine.DB, tbl *engine.Table, where Expr, cc *compileCtx, fn func(ctx *rowCtx) error) error {
+// through a cursor, invoking fn for each matching row. qctx (may be
+// nil) is polled per row so a canceled statement stops scanning.
+func scanMatching(db *engine.DB, tbl *engine.Table, where Expr, cc *compileCtx, qctx context.Context, fn func(ctx *rowCtx) error) error {
 	if where != nil && hasAggregate(where) {
 		return fmt.Errorf("sql: aggregates are not allowed in WHERE")
 	}
@@ -611,6 +615,9 @@ func scanMatching(db *engine.DB, tbl *engine.Table, where Expr, cc *compileCtx, 
 	defer cur.Close()
 	ctx := &rowCtx{}
 	for cur.Next() {
+		if err := pollCancel(qctx); err != nil {
+			return err
+		}
 		ctx.key = cur.Key()
 		ctx.row = cur.Row()
 		if pred != nil {

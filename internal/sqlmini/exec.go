@@ -44,13 +44,20 @@ func Exec(db *engine.DB, stmt *SelectStmt) (*Result, error) {
 }
 
 // ExecWith is Exec with explicit execution options.
-func ExecWith(db *engine.DB, stmt *SelectStmt, opts ExecOptions) (*Result, error) {
+func ExecWith(db *engine.DB, stmt *SelectStmt, opts ExecOptions) (res *Result, err error) {
 	rows, err := StreamWith(db, stmt, opts)
 	if err != nil {
 		return nil, err
 	}
-	defer rows.Close()
-	res := &Result{Columns: rows.Columns()}
+	// Close releases the pipeline's page pins; a failure there is a real
+	// engine error and must not be swallowed just because the drain
+	// succeeded.
+	defer func() {
+		if cerr := rows.Close(); cerr != nil && err == nil {
+			res, err = nil, cerr
+		}
+	}()
+	res = &Result{Columns: rows.Columns()}
 	for rows.Next() {
 		res.Rows = append(res.Rows, rows.Row())
 	}

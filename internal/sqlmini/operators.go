@@ -1,11 +1,24 @@
 package sqlmini
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
 	"sqlarray/internal/engine"
 )
+
+// pollCancel is the executor's cancellation check: every operator loop
+// that advances a row or batch stream calls it once per iteration (the
+// ctxloop analyzer enforces this). A nil ctx — the default ExecOptions —
+// costs one branch; a canceled ctx surfaces ctx.Err() through the normal
+// error path, so the pipeline's close still releases every pin.
+func pollCancel(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
 
 // This file implements the Volcano-style executor: a tree of operators,
 // each exposing open/next/close, streaming one row at a time from the
@@ -38,6 +51,7 @@ type operator interface {
 // uses the full int64 range.
 type scanOp struct {
 	tbl    *engine.Table
+	qctx   context.Context
 	lo, hi int64
 	cur    *engine.Cursor
 	ctx    rowCtx
@@ -55,6 +69,9 @@ func (s *scanOp) open() error {
 func (s *scanOp) next() (*rowCtx, error) {
 	if s.cur == nil {
 		return nil, nil
+	}
+	if err := pollCancel(s.qctx); err != nil {
+		return nil, err
 	}
 	if !s.cur.Next() {
 		return nil, s.cur.Err()
@@ -78,6 +95,7 @@ func (s *scanOp) close() error {
 // pushed into the scan below.
 type filterOp struct {
 	child operator
+	qctx  context.Context
 	pred  compiled
 }
 
@@ -85,6 +103,9 @@ func (f *filterOp) open() error { return f.child.open() }
 
 func (f *filterOp) next() (*rowCtx, error) {
 	for {
+		if err := pollCancel(f.qctx); err != nil {
+			return nil, err
+		}
 		ctx, err := f.child.next()
 		if ctx == nil || err != nil {
 			return nil, err
@@ -143,6 +164,7 @@ func (p *projectOp) close() error { return p.child.close() }
 // stream its input away).
 type aggregateOp struct {
 	child operator
+	qctx  context.Context
 	accs  []*accumulator
 	done  bool
 	ctx   rowCtx
@@ -156,6 +178,9 @@ func (a *aggregateOp) next() (*rowCtx, error) {
 	}
 	a.done = true
 	for {
+		if err := pollCancel(a.qctx); err != nil {
+			return nil, err
+		}
 		ctx, err := a.child.next()
 		if err != nil {
 			return nil, err
@@ -199,10 +224,16 @@ type workerState struct {
 // runs scan over each partition with a cooperative stop flag, returns
 // the first error in partition order, and otherwise merges the partial
 // accumulators into accs in partition order (keeping float results
-// deterministic for a fixed worker count).
-func runPartitions(lo, hi int64, workers int, newWorker func() (workerState, error),
+// deterministic for a fixed worker count). A non-nil qctx makes the
+// fan-out cancelable: a watcher raises the stop flag when the context
+// is done, the workers drain out through their per-batch stop checks,
+// and ctx.Err() is returned instead of the partial merge.
+func runPartitions(qctx context.Context, lo, hi int64, workers int, newWorker func() (workerState, error),
 	scan func(st *workerState, lo, hi int64, stop *atomic.Bool) error,
 	accs []*accumulator) error {
+	if err := pollCancel(qctx); err != nil {
+		return err
+	}
 	spans := partitionSpans(lo, hi, workers)
 	states := make([]workerState, len(spans))
 	for i := range states {
@@ -217,6 +248,17 @@ func runPartitions(lo, hi int64, workers int, newWorker func() (workerState, err
 		stop atomic.Bool
 		errs = make([]error, len(spans))
 	)
+	if qctx != nil {
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-qctx.Done():
+				stop.Store(true)
+			case <-watchDone:
+			}
+		}()
+	}
 	for i, span := range spans {
 		wg.Add(1)
 		go func(i int, lo, hi int64) {
@@ -229,6 +271,9 @@ func runPartitions(lo, hi int64, workers int, newWorker func() (workerState, err
 		if err != nil {
 			return err
 		}
+	}
+	if err := pollCancel(qctx); err != nil {
+		return err
 	}
 	for _, st := range states {
 		for i, acc := range st.accs {
@@ -255,6 +300,7 @@ func runPartitions(lo, hi int64, workers int, newWorker func() (workerState, err
 // partitioning by leaf pages would fix that and is a planned follow-up.
 type parallelAggOp struct {
 	tbl       *engine.Table
+	qctx      context.Context
 	lo, hi    int64 // key range to aggregate over (inclusive, lo <= hi)
 	workers   int
 	newWorker func() (workerState, error)
@@ -271,7 +317,7 @@ func (p *parallelAggOp) next() (*rowCtx, error) {
 	}
 	p.done = true
 
-	if err := runPartitions(p.lo, p.hi, p.workers, p.newWorker, p.scanPartition, p.accs); err != nil {
+	if err := runPartitions(p.qctx, p.lo, p.hi, p.workers, p.newWorker, p.scanPartition, p.accs); err != nil {
 		return nil, err
 	}
 	p.ctx.aggVals = make([]engine.Value, len(p.accs))

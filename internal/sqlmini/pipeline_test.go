@@ -454,7 +454,9 @@ func TestStreamingEarlyCloseReleasesPins(t *testing.T) {
 	if got := db.Pool().PinnedFrames(); got != 0 {
 		t.Errorf("PinnedFrames after TOP-n drain (no Close yet) = %d, want 0", got)
 	}
-	rows.Close()
+	if err := rows.Close(); err != nil {
+		t.Errorf("Close after TOP-n drain: %v", err)
+	}
 }
 
 // TestParallelAggregateMatchesSerial forces the parallel aggregate scan

@@ -1,6 +1,7 @@
 package sqlmini
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -23,6 +24,12 @@ import (
 
 // ExecOptions tunes pipeline execution. The zero value picks defaults.
 type ExecOptions struct {
+	// Ctx, when non-nil, makes the query cancelable: every operator
+	// scan/drain loop polls it, so canceling the context aborts a
+	// long-running query mid-scan with ctx.Err() and the normal close
+	// path still releases every page pin. A nil Ctx costs one branch per
+	// poll and never cancels.
+	Ctx context.Context
 	// Parallelism caps the worker goroutines of a parallel aggregate
 	// scan. 0 means runtime.GOMAXPROCS(0); 1 disables parallelism.
 	Parallelism int
@@ -343,6 +350,7 @@ func buildPipeline(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, opts Exec
 		if plo, phi, workers, ok := parallelAggSpan(tbl, lo, hi, opts); ok {
 			root = &batchParallelAggOp{
 				tbl:       tbl,
+				qctx:      opts.Ctx,
 				lo:        plo,
 				hi:        phi,
 				workers:   workers,
@@ -354,12 +362,12 @@ func buildPipeline(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, opts Exec
 		}
 	}
 	if root == nil {
-		root = &batchScanOp{tbl: tbl, lo: lo, hi: hi, need: cs.used}
+		root = &batchScanOp{tbl: tbl, qctx: opts.Ctx, lo: lo, hi: hi, need: cs.used}
 		if cs.where != nil {
-			root = &batchFilterOp{child: root, pred: cs.where}
+			root = &batchFilterOp{child: root, qctx: opts.Ctx, pred: cs.where}
 		}
 		if cs.aggregate {
-			root = &batchAggOp{child: root, accs: cs.accs}
+			root = &batchAggOp{child: root, qctx: opts.Ctx, accs: cs.accs}
 		}
 	}
 	root = &batchProjectOp{child: root, items: cs.items}
@@ -371,6 +379,7 @@ func buildPipeline(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, opts Exec
 	}
 	drain := &batchDrainOp{
 		root:      root,
+		qctx:      opts.Ctx,
 		batchSize: opts.batchSize(),
 		b:         newBatch(len(tbl.Schema().Columns)),
 	}
@@ -385,6 +394,7 @@ func buildRowPipeline(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, residu
 		if plo, phi, workers, ok := parallelAggSpan(tbl, lo, hi, opts); ok {
 			root = &parallelAggOp{
 				tbl:       tbl,
+				qctx:      opts.Ctx,
 				lo:        plo,
 				hi:        phi,
 				workers:   workers,
@@ -394,12 +404,12 @@ func buildRowPipeline(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, residu
 		}
 	}
 	if root == nil {
-		root = &scanOp{tbl: tbl, lo: lo, hi: hi}
+		root = &scanOp{tbl: tbl, qctx: opts.Ctx, lo: lo, hi: hi}
 		if cs.where != nil {
-			root = &filterOp{child: root, pred: cs.where}
+			root = &filterOp{child: root, qctx: opts.Ctx, pred: cs.where}
 		}
 		if cs.aggregate {
-			root = &aggregateOp{child: root, accs: cs.accs}
+			root = &aggregateOp{child: root, qctx: opts.Ctx, accs: cs.accs}
 		}
 	}
 	root = &projectOp{child: root, items: cs.items}

@@ -1,0 +1,34 @@
+#!/bin/sh
+# Emits BENCH_baseline.json: one short run of every perf-tracking
+# benchmark, as {"meta": {...}, "benchmarks": [{"name", "iterations",
+# "ns_per_op"}, ...]}. Run via `make bench-baseline` on a quiet machine.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+run_bench() {
+	go test -run='^$' -bench="$1" -benchtime="${3:-300ms}" "$2" 2>/dev/null |
+		grep -E '^Benchmark' || true
+}
+
+{
+	run_bench 'BenchmarkWALAppend|BenchmarkWALGroupCommit' ./internal/wal
+	run_bench 'BenchmarkBufferPoolContention' ./internal/pages
+	run_bench 'BenchmarkParallelAggregate' ./internal/sqlmini
+	run_bench 'BenchmarkReadAll1MB|BenchmarkPartialRead4kOf1MB|BenchmarkReadRunsStencil|BenchmarkReadRunsPinnedStencil' ./internal/blob
+	run_bench 'BenchmarkSubarrayPartialVsWholeBlob' . 1x
+} | awk -v gover="$(go version | awk '{print $3}')" -v date="$(date -u +%Y-%m-%d)" '
+BEGIN {
+	printf "{\n  \"meta\": {\n"
+	printf "    \"date\": \"%s\",\n", date
+	printf "    \"go\": \"%s\",\n", gover
+	printf "    \"note\": \"short -benchtime runs; a reference point for trend comparison, not a gate\"\n"
+	printf "  },\n  \"benchmarks\": [\n"
+	n = 0
+}
+/^Benchmark/ {
+	if (n++) printf ",\n"
+	printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", $1, $2, $3
+}
+END { printf "\n  ]\n}\n" }
+'

@@ -58,7 +58,9 @@ func TestQueryRowsMatchesQuery(t *testing.T) {
 		if err := rows.Err(); err != nil {
 			t.Fatalf("QueryRows(%q): %v", q, err)
 		}
-		rows.Close()
+		if err := rows.Close(); err != nil {
+			t.Fatalf("Close(%q): %v", q, err)
+		}
 		if len(got) != len(want.Rows) {
 			t.Fatalf("QueryRows(%q) = %d rows, Query = %d", q, len(got), len(want.Rows))
 		}
@@ -84,7 +86,11 @@ func TestQueryArrayRowsStreams(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer rows.Close()
+	defer func() {
+		if err := rows.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
 	if !rows.Next() {
 		t.Fatalf("no rows: %v", rows.Err())
 	}
