@@ -104,8 +104,9 @@ func RunUnit(cfgPath string, enabled map[string]bool, w io.Writer) (int, error) 
 		Implicits:  map[ast.Node]types.Object{},
 	}
 	tcfg := &types.Config{
-		Importer: imp,
-		Error:    func(error) {}, // collect via returned err; keep going
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Error:     func(error) {}, // collect via returned err; keep going
 	}
 	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {

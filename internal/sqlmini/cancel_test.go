@@ -38,6 +38,7 @@ func TestCancelBeforeFirstRow(t *testing.T) {
 func TestCancelMidStream(t *testing.T) {
 	db := testDB(t)
 	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	// A small batch keeps the drain's buffered tail short, so the cancel
 	// lands within a few rows instead of after a full 1024-row batch.
 	rows, err := QueryWith(db, "SELECT id FROM Tscalar", ExecOptions{Ctx: ctx, BatchSize: 8})
