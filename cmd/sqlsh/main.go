@@ -110,26 +110,36 @@ func isSelect(line string) bool {
 // interactive window onto the subarray I/O pushdown: a sliced read of a
 // big array shows chunk reads collapsing while the hit ratio climbs.
 type queryStats struct {
-	logical, physical, bytesRead    uint64
-	dirReads, chunkReads, blobBytes uint64
-	streamCalls                     uint64
-	chunksWritten                   uint64
-	walRecords, walBytes, walSyncs  uint64
+	logical, physical, bytesRead          uint64
+	admissions, promotions, scanEvictions uint64
+	dirReads, chunkReads, blobBytes       uint64
+	streamCalls                           uint64
+	chunksWritten                         uint64
+	compWritten, compRead                 uint64
+	logicalWritten, logicalRead           uint64
+	walRecords, walBytes, walSyncs        uint64
 }
 
 func diffStats(p0 pages.Stats, b0 blob.Stats, w0 wal.Stats, p1 pages.Stats, b1 blob.Stats, w1 wal.Stats) queryStats {
 	return queryStats{
-		logical:       p1.LogicalReads - p0.LogicalReads,
-		physical:      p1.PhysicalReads - p0.PhysicalReads,
-		bytesRead:     p1.BytesRead - p0.BytesRead,
-		dirReads:      b1.DirectoryReads - b0.DirectoryReads,
-		chunkReads:    b1.ChunkReads - b0.ChunkReads,
-		blobBytes:     b1.BytesRead - b0.BytesRead,
-		streamCalls:   b1.StreamCalls - b0.StreamCalls,
-		chunksWritten: b1.ChunksWritten - b0.ChunksWritten,
-		walRecords:    w1.Records - w0.Records,
-		walBytes:      w1.BytesLogged - w0.BytesLogged,
-		walSyncs:      w1.Syncs - w0.Syncs,
+		logical:        p1.LogicalReads - p0.LogicalReads,
+		physical:       p1.PhysicalReads - p0.PhysicalReads,
+		bytesRead:      p1.BytesRead - p0.BytesRead,
+		admissions:     p1.Admissions - p0.Admissions,
+		promotions:     p1.Promotions - p0.Promotions,
+		scanEvictions:  p1.ScanEvictions - p0.ScanEvictions,
+		dirReads:       b1.DirectoryReads - b0.DirectoryReads,
+		chunkReads:     b1.ChunkReads - b0.ChunkReads,
+		blobBytes:      b1.BytesRead - b0.BytesRead,
+		streamCalls:    b1.StreamCalls - b0.StreamCalls,
+		chunksWritten:  b1.ChunksWritten - b0.ChunksWritten,
+		compWritten:    b1.CompressedBytesWritten - b0.CompressedBytesWritten,
+		compRead:       b1.CompressedBytesRead - b0.CompressedBytesRead,
+		logicalWritten: b1.BytesWritten - b0.BytesWritten,
+		logicalRead:    b1.BytesRead - b0.BytesRead,
+		walRecords:     w1.Records - w0.Records,
+		walBytes:       w1.BytesLogged - w0.BytesLogged,
+		walSyncs:       w1.Syncs - w0.Syncs,
 	}
 }
 
@@ -140,8 +150,20 @@ func (q queryStats) print() {
 	}
 	fmt.Printf("buffer pool: %d logical reads, %d physical (%.1f%% hit ratio), %s from disk\n",
 		q.logical, q.physical, hit, fmtBytes(q.bytesRead))
+	fmt.Printf("eviction:    %d admissions, %d promotions to protected, %d scan evictions\n",
+		q.admissions, q.promotions, q.scanEvictions)
 	fmt.Printf("blob store:  %d chunk reads, %d directory reads, %s of blob data, %d stream calls, %d chunks written\n",
 		q.chunkReads, q.dirReads, fmtBytes(q.blobBytes), q.streamCalls, q.chunksWritten)
+	if q.compWritten > 0 && q.logicalWritten > 0 {
+		fmt.Printf("compression: wrote %s stored for %s logical (%.2fx)\n",
+			fmtBytes(q.compWritten), fmtBytes(q.logicalWritten),
+			float64(q.logicalWritten)/float64(q.compWritten))
+	}
+	if q.compRead > 0 && q.logicalRead > 0 {
+		fmt.Printf("compression: read %s stored for %s logical (%.2fx)\n",
+			fmtBytes(q.compRead), fmtBytes(q.logicalRead),
+			float64(q.logicalRead)/float64(q.compRead))
+	}
 	fmt.Printf("WAL:         %d records, %s logged, %d syncs\n",
 		q.walRecords, fmtBytes(q.walBytes), q.walSyncs)
 }

@@ -8,12 +8,30 @@
 // Layout: a blob is a chain of directory pages (TypeBlobTree), each
 // holding an array of chunk page ids; chunk pages (TypeBlobData) hold up
 // to 8096 payload bytes each. The row stores only a fixed-size Ref.
+//
+// Two chunk formats coexist, discriminated by the page-header flag
+// pages.FlagCompressedBlob on the blob's directory and chunk pages:
+//
+//   - Raw (legacy, Write): chunk c holds logical bytes
+//     [c*ChunkSize, (c+1)*ChunkSize) verbatim; directory entries are
+//     4-byte chunk page ids.
+//   - Compressed (WriteCompressed): the logical blob is cut into
+//     BlockSize blocks, each compressed independently (see codec.go)
+//     and packed — several blocks per chunk page — so compressible
+//     blobs occupy fewer pages; directory entries are 8 bytes (page
+//     id plus the chunk's logical length). Readers locate chunks by binary
+//     search over the logical offsets and decompress only the blocks a
+//     requested range overlaps.
+//
+// All read paths (ReadAt/ReadRuns/View/ReadRunsPinned) are format
+// agnostic: a Ref does not say how its bytes are stored.
 package blob
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"sqlarray/internal/pages"
@@ -22,8 +40,12 @@ import (
 // ChunkSize is the payload capacity of one blob chunk page.
 const ChunkSize = pages.PageSize - pages.HeaderSize
 
-// idsPerDir is how many chunk ids fit one directory page.
+// idsPerDir is how many 4-byte chunk ids fit one raw directory page.
 const idsPerDir = ChunkSize / 4
+
+// entriesPerDirC is how many 8-byte (id, logicalLen) entries fit one
+// compressed-format directory page.
+const entriesPerDirC = ChunkSize / 8
 
 // RefSize is the encoded size of a Ref as stored inside a row.
 const RefSize = 12
@@ -63,6 +85,9 @@ func DecodeRef(b []byte) (Ref, error) {
 
 // Stats is a snapshot of blob-store I/O at the chunk granularity,
 // allowing the benchmarks to show how partial reads touch fewer pages.
+// BytesRead/BytesWritten count logical (uncompressed) bytes; the
+// Compressed* counters count the stored bytes of compressed chunks, so
+// BytesWritten / CompressedBytesWritten is the live compression ratio.
 type Stats struct {
 	DirectoryReads uint64
 	ChunkReads     uint64
@@ -72,20 +97,29 @@ type Stats struct {
 	StreamCalls    uint64 // stream-wrapper invocations (the CLR-boundary analogue)
 	PagesFreed     uint64 // pages returned to the free list by Free
 	PagesReused    uint64 // allocations served from the free list
+	// CompressedBytesWritten is the stored (post-compression) size of
+	// chunk pages written by WriteCompressed and compressed WriteRuns.
+	CompressedBytesWritten uint64
+	// CompressedBytesRead is the stored size of every compressed chunk
+	// page fetched by a read path — the physical I/O volume a
+	// compressed read actually paid, vs the logical BytesRead.
+	CompressedBytesRead uint64
 }
 
 // counters is the live, atomic form of Stats. The store is read from
 // parallel scan workers concurrently, so plain-field increments would be
 // a data race (and were, before this was converted).
 type counters struct {
-	directoryReads atomic.Uint64
-	chunkReads     atomic.Uint64
-	bytesRead      atomic.Uint64
-	chunksWritten  atomic.Uint64
-	bytesWritten   atomic.Uint64
-	streamCalls    atomic.Uint64
-	pagesFreed     atomic.Uint64
-	pagesReused    atomic.Uint64
+	directoryReads         atomic.Uint64
+	chunkReads             atomic.Uint64
+	bytesRead              atomic.Uint64
+	chunksWritten          atomic.Uint64
+	bytesWritten           atomic.Uint64
+	streamCalls            atomic.Uint64
+	pagesFreed             atomic.Uint64
+	pagesReused            atomic.Uint64
+	compressedBytesWritten atomic.Uint64
+	compressedBytesRead    atomic.Uint64
 }
 
 // Store reads and writes blobs over a buffer pool. It is safe for
@@ -101,14 +135,16 @@ func NewStore(bp *pages.BufferPool) *Store { return &Store{bp: bp} }
 // Stats returns a snapshot of the store counters. Lock-free.
 func (s *Store) Stats() Stats {
 	return Stats{
-		DirectoryReads: s.stats.directoryReads.Load(),
-		ChunkReads:     s.stats.chunkReads.Load(),
-		BytesRead:      s.stats.bytesRead.Load(),
-		ChunksWritten:  s.stats.chunksWritten.Load(),
-		BytesWritten:   s.stats.bytesWritten.Load(),
-		StreamCalls:    s.stats.streamCalls.Load(),
-		PagesFreed:     s.stats.pagesFreed.Load(),
-		PagesReused:    s.stats.pagesReused.Load(),
+		DirectoryReads:         s.stats.directoryReads.Load(),
+		ChunkReads:             s.stats.chunkReads.Load(),
+		BytesRead:              s.stats.bytesRead.Load(),
+		ChunksWritten:          s.stats.chunksWritten.Load(),
+		BytesWritten:           s.stats.bytesWritten.Load(),
+		StreamCalls:            s.stats.streamCalls.Load(),
+		PagesFreed:             s.stats.pagesFreed.Load(),
+		PagesReused:            s.stats.pagesReused.Load(),
+		CompressedBytesWritten: s.stats.compressedBytesWritten.Load(),
+		CompressedBytesRead:    s.stats.compressedBytesRead.Load(),
 	}
 }
 
@@ -120,9 +156,117 @@ func (s *Store) ResetStats() {
 	s.stats.chunksWritten.Store(0)
 	s.stats.bytesWritten.Store(0)
 	s.stats.streamCalls.Store(0)
+	s.stats.compressedBytesWritten.Store(0)
+	s.stats.compressedBytesRead.Store(0)
 }
 
-// Write stores data as a new blob and returns its Ref.
+// scratchPool recycles codec staging buffers across read/write calls so
+// decompressing reads do not allocate per call. The buffers never leak
+// out of a call: decoded bytes destined to outlive it (pinned views)
+// are copied into call-owned memory.
+var scratchPool = sync.Pool{New: func() any { return newCodecScratch() }}
+
+// chunkInfo locates one chunk page and the logical byte range it
+// covers: [off, off+n). Raw blobs have the fixed ChunkSize geometry;
+// compressed blobs have variable chunk coverage recorded in their
+// directory entries.
+type chunkInfo struct {
+	id  pages.PageID
+	off int64
+	n   int
+}
+
+// findChunk returns the index of the chunk containing logical offset
+// off — the last chunk whose start is <= off — or -1 when off precedes
+// the first chunk.
+func findChunk(chunks []chunkInfo, off int64) int {
+	lo, hi := 0, len(chunks)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if chunks[mid].off <= off {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}
+
+// walkDir walks a blob's directory chain, returning the chunk list,
+// the directory page ids, and whether the blob uses the compressed
+// format (from the first directory page's flags).
+func (s *Store) walkDir(ref Ref) (chunks []chunkInfo, dirIDs []pages.PageID, compressed bool, err error) {
+	if ref.IsNull() {
+		return nil, nil, false, nil
+	}
+	id := ref.Root
+	first := true
+	var off int64
+	for id != pages.InvalidPageID {
+		f, err := s.bp.Fetch(id)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if f.Page.Type() != pages.TypeBlobTree {
+			s.bp.Unpin(f, false)
+			return nil, nil, false, fmt.Errorf("%w: page %d is not a blob directory", ErrBadRef, id)
+		}
+		if first {
+			compressed = f.Page.Flags()&pages.FlagCompressedBlob != 0
+			first = false
+		}
+		s.stats.directoryReads.Add(1)
+		used := f.Page.Used()
+		body := f.Page.Body()
+		if compressed {
+			for i := 0; i+8 <= used; i += 8 {
+				n := int(binary.LittleEndian.Uint32(body[i+4:]))
+				if n <= 0 || n > maxChunkLogical {
+					s.bp.Unpin(f, false)
+					return nil, nil, false, fmt.Errorf("%w: directory entry covers %d bytes", ErrBadRef, n)
+				}
+				chunks = append(chunks, chunkInfo{
+					id:  pages.PageID(binary.LittleEndian.Uint32(body[i:])),
+					off: off,
+					n:   n,
+				})
+				off += int64(n)
+			}
+		} else {
+			for i := 0; i+4 <= used; i += 4 {
+				n := ChunkSize
+				if rem := ref.Length - off; int64(n) > rem {
+					n = int(rem)
+				}
+				chunks = append(chunks, chunkInfo{
+					id:  pages.PageID(binary.LittleEndian.Uint32(body[i:])),
+					off: off,
+					n:   n,
+				})
+				off += int64(n)
+			}
+		}
+		dirIDs = append(dirIDs, id)
+		next := f.Page.Next()
+		s.bp.Unpin(f, false)
+		id = next
+	}
+	if compressed && off != ref.Length {
+		return nil, nil, false, fmt.Errorf("%w: directory covers %d bytes, ref declares %d",
+			ErrBadRef, off, ref.Length)
+	}
+	return chunks, dirIDs, compressed, nil
+}
+
+// loadChunks is walkDir without the directory page ids (read paths).
+func (s *Store) loadChunks(ref Ref) ([]chunkInfo, bool, error) {
+	chunks, _, compressed, err := s.walkDir(ref)
+	return chunks, compressed, err
+}
+
+// Write stores data as a new blob in the raw (uncompressed) chunk
+// format and returns its Ref. WriteCompressed is the compressing
+// variant; the engine picks per element type.
 func (s *Store) Write(data []byte) (Ref, error) {
 	if len(data) == 0 {
 		return Ref{}, nil
@@ -155,7 +299,7 @@ func (s *Store) Write(data []byte) (Ref, error) {
 // writeDirectory lays the chunk id list into a chain of directory pages
 // and returns the first page id.
 func (s *Store) writeDirectory(ids []pages.PageID) (pages.PageID, error) {
-	var first, prev pages.PageID
+	var first pages.PageID
 	var prevFrame *pages.Frame
 	for off := 0; off < len(ids); off += idsPerDir {
 		end := off + idsPerDir
@@ -181,43 +325,392 @@ func (s *Store) writeDirectory(ids []pages.PageID) (pages.PageID, error) {
 			prevFrame.Page.SetNext(f.Page.ID)
 			s.bp.Unpin(prevFrame, true)
 		}
-		prev = f.Page.ID
 		prevFrame = f
 	}
-	_ = prev
 	if prevFrame != nil {
 		s.bp.Unpin(prevFrame, true)
 	}
 	return first, nil
 }
 
-// chunkIDs loads the full chunk id list of a blob.
-func (s *Store) chunkIDs(ref Ref) ([]pages.PageID, error) {
-	if ref.IsNull() {
-		return nil, nil
+// encBlock is one encoded block staged before page packing: header
+// fields plus a span of the shared staging buffer.
+type encBlock struct {
+	format, width  byte
+	logical        int
+	payOff, payLen int
+}
+
+// chunkPlan assigns a run of staged blocks to one chunk page.
+type chunkPlan struct {
+	first, n, stored, logical int
+}
+
+// encodeBlocks cuts data on the BlockSize grid and encodes every block
+// under c, appending payloads to stage. Blocks that fail to shrink are
+// staged raw.
+func encodeBlocks(data []byte, c Codec, scr *codecScratch, stage []byte) ([]encBlock, []byte) {
+	blocks := make([]encBlock, 0, (len(data)+BlockSize-1)/BlockSize)
+	for off := 0; off < len(data); off += BlockSize {
+		end := off + BlockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		format, width, payload := encodeBlock(data[off:end], c, scr)
+		blocks = append(blocks, encBlock{
+			format:  format,
+			width:   width,
+			logical: end - off,
+			payOff:  len(stage),
+			payLen:  len(payload),
+		})
+		stage = append(stage, payload...)
 	}
-	var ids []pages.PageID
-	id := ref.Root
-	for id != pages.InvalidPageID {
-		f, err := s.bp.Fetch(id)
+	return blocks, stage
+}
+
+// packBlocks greedily assigns staged blocks to chunk pages, bounded by
+// the page payload capacity and maxBlocksPerChunk.
+func packBlocks(blocks []encBlock) []chunkPlan {
+	var plan []chunkPlan
+	cur := chunkPlan{}
+	for i, b := range blocks {
+		need := blockHdrSize + b.payLen
+		if cur.n > 0 && (cur.stored+need > chunkPayloadCap || cur.n == maxBlocksPerChunk) {
+			plan = append(plan, cur)
+			cur = chunkPlan{}
+		}
+		if cur.n == 0 {
+			cur.first = i
+		}
+		cur.n++
+		cur.stored += need
+		cur.logical += b.logical
+	}
+	if cur.n > 0 {
+		plan = append(plan, cur)
+	}
+	return plan
+}
+
+// fillChunkPage lays one chunk plan's blocks into a page body and
+// stamps the compressed-chunk header (format version, block count, and
+// the blob's preferred codec so in-place rewrites re-encode with the
+// writer's intent). Returns the stored byte count (the page's Used).
+func fillChunkPage(p *pages.Page, c Codec, blocks []encBlock, stage []byte) int {
+	body := p.Body()
+	body[0] = chunkFormatVersion
+	binary.LittleEndian.PutUint16(body[1:], uint16(len(blocks)))
+	body[3] = byte(c.Kind)
+	body[4] = byte(c.Width)
+	body[5] = byte(c.Phase & 7)
+	body[6], body[7] = 0, 0
+	w := chunkHdrSize
+	for _, b := range blocks {
+		body[w] = b.format
+		body[w+1] = b.width
+		binary.LittleEndian.PutUint16(body[w+2:], uint16(b.payLen))
+		binary.LittleEndian.PutUint16(body[w+4:], uint16(b.logical))
+		body[w+6], body[w+7] = 0, 0
+		copy(body[w+blockHdrSize:], stage[b.payOff:b.payOff+b.payLen])
+		w += blockHdrSize + b.payLen
+	}
+	p.SetUsed(w)
+	p.SetFlags(pages.FlagCompressedBlob)
+	return w
+}
+
+// WriteCompressed stores data as a new blob in the compressed chunk
+// format under codec c (CodecNone delegates to Write). If the packed
+// compressed form would not occupy fewer chunk pages than raw storage,
+// the blob is stored raw instead — compression never costs pages, and
+// incompressible single-chunk blobs keep the zero-copy resolve path.
+func (s *Store) WriteCompressed(data []byte, c Codec) (Ref, error) {
+	if c.Kind == CodecNone || c.Kind > CodecXOR {
+		return s.Write(data)
+	}
+	if len(data) == 0 {
+		return Ref{}, nil
+	}
+	if c.Width < 1 || c.Width > 255 {
+		c.Width = 1
+	}
+	if c.Phase < 0 || c.Phase > 7 {
+		c.Phase = 0
+	}
+	scr := scratchPool.Get().(*codecScratch)
+	defer scratchPool.Put(scr)
+	blocks, stage := encodeBlocks(data, c, scr, nil)
+	plan := packBlocks(blocks)
+	if len(plan) >= NumChunks(int64(len(data))) {
+		return s.Write(data)
+	}
+	chunks := make([]chunkInfo, 0, len(plan))
+	var off int64
+	for _, pk := range plan {
+		f, err := s.allocPage(pages.TypeBlobData)
 		if err != nil {
-			return nil, err
+			return Ref{}, err
 		}
-		if f.Page.Type() != pages.TypeBlobTree {
-			s.bp.Unpin(f, false)
-			return nil, fmt.Errorf("%w: page %d is not a blob directory", ErrBadRef, id)
-		}
-		s.stats.directoryReads.Add(1)
-		used := f.Page.Used()
-		body := f.Page.Body()
-		for i := 0; i < used; i += 4 {
-			ids = append(ids, pages.PageID(binary.LittleEndian.Uint32(body[i:])))
-		}
-		next := f.Page.Next()
-		s.bp.Unpin(f, false)
-		id = next
+		w := fillChunkPage(&f.Page, c, blocks[pk.first:pk.first+pk.n], stage)
+		chunks = append(chunks, chunkInfo{id: f.Page.ID, off: off, n: pk.logical})
+		off += int64(pk.logical)
+		s.bp.Unpin(f, true)
+		s.stats.chunksWritten.Add(1)
+		s.stats.compressedBytesWritten.Add(uint64(w))
 	}
-	return ids, nil
+	s.stats.bytesWritten.Add(uint64(len(data)))
+	root, err := s.writeCompressedDirectory(chunks)
+	if err != nil {
+		return Ref{}, err
+	}
+	return Ref{Root: root, Length: int64(len(data))}, nil
+}
+
+// writeCompressedDirectory lays 8-byte (page id, logical length)
+// entries into a flagged directory chain and returns the first page id.
+func (s *Store) writeCompressedDirectory(chunks []chunkInfo) (pages.PageID, error) {
+	var first pages.PageID
+	var prevFrame *pages.Frame
+	for off := 0; off < len(chunks); off += entriesPerDirC {
+		end := off + entriesPerDirC
+		if end > len(chunks) {
+			end = len(chunks)
+		}
+		f, err := s.allocPage(pages.TypeBlobTree)
+		if err != nil {
+			if prevFrame != nil {
+				s.bp.Unpin(prevFrame, true)
+			}
+			return 0, err
+		}
+		f.Page.SetFlags(pages.FlagCompressedBlob)
+		body := f.Page.Body()
+		for i, ci := range chunks[off:end] {
+			binary.LittleEndian.PutUint32(body[8*i:], uint32(ci.id))
+			binary.LittleEndian.PutUint32(body[8*i+4:], uint32(ci.n))
+		}
+		f.Page.SetUsed((end - off) * 8)
+		if first == pages.InvalidPageID {
+			first = f.Page.ID
+		}
+		if prevFrame != nil {
+			prevFrame.Page.SetNext(f.Page.ID)
+			s.bp.Unpin(prevFrame, true)
+		}
+		prevFrame = f
+	}
+	if prevFrame != nil {
+		s.bp.Unpin(prevFrame, true)
+	}
+	return first, nil
+}
+
+// errStopVisit short-circuits a block walk once past the wanted range.
+var errStopVisit = errors.New("blob: stop block visit")
+
+// forEachBlock walks the packed block sequence of a compressed chunk
+// page body, invoking fn with each block's chunk-relative logical
+// offset, header fields and stored payload. Every bound is validated so
+// a corrupt page yields an error, never a panic.
+func forEachBlock(body []byte, used int, fn func(blkOff int, format, width byte, logical int, stored []byte) error) error {
+	if used < chunkHdrSize || used > len(body) {
+		return errCorrupt("chunk header")
+	}
+	if body[0] != chunkFormatVersion {
+		return errCorrupt("chunk format version")
+	}
+	nBlocks := int(binary.LittleEndian.Uint16(body[1:]))
+	r := chunkHdrSize
+	blkOff := 0
+	for b := 0; b < nBlocks; b++ {
+		if r+blockHdrSize > used {
+			return errCorrupt("block header")
+		}
+		format := body[r]
+		width := body[r+1]
+		stored := int(binary.LittleEndian.Uint16(body[r+2:]))
+		logical := int(binary.LittleEndian.Uint16(body[r+4:]))
+		r += blockHdrSize
+		if stored > used-r || logical == 0 || logical > BlockSize {
+			return errCorrupt("block length")
+		}
+		if err := fn(blkOff, format, width, logical, body[r:r+stored]); err != nil {
+			return err
+		}
+		r += stored
+		blkOff += logical
+	}
+	return nil
+}
+
+// chunkCodec reads the preferred codec recorded in a compressed chunk
+// page header.
+func chunkCodec(p *pages.Page) (Codec, error) {
+	if p.Used() < chunkHdrSize {
+		return Codec{}, errCorrupt("chunk header")
+	}
+	body := p.Body()
+	return Codec{Kind: CodecKind(body[3]), Width: int(body[4]), Phase: int(body[5] & 7)}, nil
+}
+
+// decodeWholeChunk expands every block of a compressed chunk page into
+// dst, which must be exactly the chunk's logical size.
+func decodeWholeChunk(p *pages.Page, dst []byte, scr *codecScratch) error {
+	used := p.Used()
+	body := p.Body()
+	return forEachBlock(body, used, func(blkOff int, format, width byte, logical int, stored []byte) error {
+		if blkOff+logical > len(dst) {
+			return errCorrupt("chunk logical overflow")
+		}
+		out := dst[blkOff : blkOff+logical]
+		dec, err := decodeBlock(format, width, stored, logical, out, scr)
+		if err != nil {
+			return err
+		}
+		if &dec[0] != &out[0] {
+			copy(out, dec) // raw block: copy out of the page body
+		}
+		return nil
+	})
+}
+
+// decodeChunkRange expands only the blocks of a compressed chunk page
+// that overlap the chunk-relative logical range [lo, hi) into dst,
+// which must be exactly the chunk's logical size. Bytes of dst outside
+// the decoded blocks are left untouched — callers must only read the
+// requested range.
+func decodeChunkRange(p *pages.Page, dst []byte, lo, hi int, scr *codecScratch) error {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(dst) {
+		hi = len(dst)
+	}
+	if lo >= hi {
+		return nil
+	}
+	used := p.Used()
+	body := p.Body()
+	err := forEachBlock(body, used, func(blkOff int, format, width byte, logical int, stored []byte) error {
+		if blkOff >= hi {
+			return errStopVisit
+		}
+		if blkOff+logical <= lo {
+			return nil
+		}
+		if blkOff+logical > len(dst) {
+			return errCorrupt("chunk logical overflow")
+		}
+		out := dst[blkOff : blkOff+logical]
+		dec, err := decodeBlock(format, width, stored, logical, out, scr)
+		if err != nil {
+			return err
+		}
+		if &dec[0] != &out[0] {
+			copy(out, dec) // raw block: copy out of the page body
+		}
+		return nil
+	})
+	if err == errStopVisit {
+		return nil
+	}
+	return err
+}
+
+// visitChunk fetches one chunk page and emits the logical byte segments
+// overlapping the chunk-relative range [lo, hi), in ascending order.
+// Raw chunks emit a single segment aliasing the pinned page body;
+// compressed chunks decode only the overlapping blocks into scr and
+// emit slices of it — decompress-then-slice per block, never the whole
+// blob. Segments are valid only during the callback: the frame is
+// unpinned before visitChunk returns.
+func (s *Store) visitChunk(ci chunkInfo, compressed bool, lo, hi int, scr *codecScratch, emit func(off int, seg []byte)) error {
+	f, err := s.bp.Fetch(ci.id)
+	if err != nil {
+		return err
+	}
+	defer s.bp.Unpin(f, false)
+	if f.Page.Type() != pages.TypeBlobData {
+		return fmt.Errorf("%w: page %d is not a blob chunk", ErrBadRef, ci.id)
+	}
+	s.stats.chunkReads.Add(1)
+	used := f.Page.Used()
+	body := f.Page.Body()
+	if !compressed {
+		if hi > used {
+			hi = used
+		}
+		if lo < hi {
+			emit(lo, body[lo:hi])
+		}
+		return nil
+	}
+	s.stats.compressedBytesRead.Add(uint64(used))
+	err = forEachBlock(body, used, func(blkOff int, format, width byte, logical int, stored []byte) error {
+		if blkOff+logical <= lo {
+			return nil
+		}
+		if blkOff >= hi {
+			return errStopVisit
+		}
+		scr.b = grow(scr.b, logical)
+		dec, err := decodeBlock(format, width, stored, logical, scr.b[:logical], scr)
+		if err != nil {
+			return err
+		}
+		l, h := blkOff, blkOff+logical
+		if lo > l {
+			l = lo
+		}
+		if hi < h {
+			h = hi
+		}
+		emit(l, dec[l-blkOff:h-blkOff])
+		return nil
+	})
+	if err == errStopVisit {
+		err = nil
+	}
+	return err
+}
+
+// readRange copies logical blob bytes [off, off+len(dst)) into dst.
+// The caller has validated the range against the ref.
+func (s *Store) readRange(chunks []chunkInfo, compressed bool, off int64, dst []byte, scr *codecScratch) error {
+	if len(dst) == 0 {
+		return nil
+	}
+	read := 0
+	c := findChunk(chunks, off)
+	if c < 0 {
+		return fmt.Errorf("%w: chunk -1 of %d", ErrBadRef, len(chunks))
+	}
+	for read < len(dst) {
+		if c >= len(chunks) {
+			return fmt.Errorf("%w: chunk %d of %d", ErrBadRef, c, len(chunks))
+		}
+		ci := chunks[c]
+		lo := int(off + int64(read) - ci.off)
+		hi := ci.n
+		if rem := len(dst) - read; hi-lo > rem {
+			hi = lo + rem
+		}
+		base := read - lo
+		copied := 0
+		if err := s.visitChunk(ci, compressed, lo, hi, scr, func(o int, seg []byte) {
+			copied += copy(dst[base+o:], seg)
+		}); err != nil {
+			return err
+		}
+		if copied != hi-lo {
+			return fmt.Errorf("%w: wanted %d bytes, chunk %d yielded %d", ErrShortRead, hi-lo, c, copied)
+		}
+		read += copied
+		s.stats.bytesRead.Add(uint64(copied))
+		c++
+	}
+	return nil
 }
 
 // ReadAll fetches the entire blob.
@@ -233,7 +726,8 @@ func (s *Store) ReadAll(ref Ref) ([]byte, error) {
 }
 
 // ReadAt fills dst with blob bytes starting at offset off, touching only
-// the chunk pages the range covers — the partial-read path.
+// the chunk pages the range covers — the partial-read path. Compressed
+// chunks decompress only the blocks the range overlaps.
 func (s *Store) ReadAt(ref Ref, dst []byte, off int64) error {
 	if ref.IsNull() {
 		if len(dst) == 0 {
@@ -247,41 +741,16 @@ func (s *Store) ReadAt(ref Ref, dst []byte, off int64) error {
 	if len(dst) == 0 {
 		return nil
 	}
-	ids, err := s.chunkIDs(ref)
+	chunks, compressed, err := s.loadChunks(ref)
 	if err != nil {
 		return err
 	}
-	first := int(off / ChunkSize)
-	last := int((off + int64(len(dst)) - 1) / ChunkSize)
-	w := 0
-	for c := first; c <= last; c++ {
-		if c >= len(ids) {
-			return fmt.Errorf("%w: chunk %d of %d", ErrBadRef, c, len(ids))
-		}
-		f, err := s.bp.Fetch(ids[c])
-		if err != nil {
-			return err
-		}
-		if f.Page.Type() != pages.TypeBlobData {
-			s.bp.Unpin(f, false)
-			return fmt.Errorf("%w: page %d is not a blob chunk", ErrBadRef, ids[c])
-		}
-		s.stats.chunkReads.Add(1)
-		lo := 0
-		if c == first {
-			lo = int(off % ChunkSize)
-		}
-		hi := f.Page.Used()
-		body := f.Page.Body()[lo:hi]
-		n := copy(dst[w:], body)
-		w += n
-		s.stats.bytesRead.Add(uint64(n))
-		s.bp.Unpin(f, false)
+	var scr *codecScratch
+	if compressed {
+		scr = scratchPool.Get().(*codecScratch)
+		defer scratchPool.Put(scr)
 	}
-	if w != len(dst) {
-		return fmt.Errorf("%w: wanted %d bytes, blob yielded %d", ErrShortRead, len(dst), w)
-	}
-	return nil
+	return s.readRange(chunks, compressed, off, dst, scr)
 }
 
 // ReadRuns performs a batch of partial reads described as (srcOff, dstOff,
@@ -292,37 +761,34 @@ func (s *Store) ReadRuns(ref Ref, dst []byte, runs []Run) error {
 	if len(runs) == 0 {
 		return nil
 	}
-	ids, err := s.chunkIDs(ref)
+	chunks, compressed, err := s.loadChunks(ref)
 	if err != nil {
 		return err
+	}
+	var scr *codecScratch
+	if compressed {
+		scr = scratchPool.Get().(*codecScratch)
+		defer scratchPool.Put(scr)
 	}
 	for _, r := range runs {
 		if r.SrcOff < 0 || int64(r.SrcOff+r.Len) > ref.Length {
 			return fmt.Errorf("%w: run [%d,%d) of %d", ErrShortRead, r.SrcOff, r.SrcOff+r.Len, ref.Length)
 		}
-		first := r.SrcOff / ChunkSize
-		last := (r.SrcOff + r.Len - 1) / ChunkSize
-		w := r.DstOff
-		for c := first; c <= last; c++ {
-			f, err := s.bp.Fetch(ids[c])
-			if err != nil {
-				return err
-			}
-			s.stats.chunkReads.Add(1)
-			lo := 0
-			if c == first {
-				lo = r.SrcOff % ChunkSize
-			}
-			hi := f.Page.Used()
-			want := r.DstOff + r.Len - w
-			body := f.Page.Body()[lo:hi]
-			if len(body) > want {
-				body = body[:want]
-			}
-			n := copy(dst[w:], body)
-			w += n
-			s.stats.bytesRead.Add(uint64(n))
-			s.bp.Unpin(f, false)
+		if r.Len <= 0 {
+			continue
+		}
+		if r.DstOff < 0 {
+			return fmt.Errorf("%w: destination offset %d", ErrShortRead, r.DstOff)
+		}
+		end := r.DstOff + r.Len
+		if end > len(dst) {
+			end = len(dst)
+		}
+		if r.DstOff >= end {
+			continue
+		}
+		if err := s.readRange(chunks, compressed, int64(r.SrcOff), dst[r.DstOff:end], scr); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -336,7 +802,8 @@ type Run struct {
 	Len    int
 }
 
-// NumChunks returns how many chunk pages a blob of n bytes occupies.
+// NumChunks returns how many chunk pages a blob of n bytes occupies in
+// the raw format (compressed blobs occupy at most this many).
 func NumChunks(n int64) int {
 	return int((n + ChunkSize - 1) / ChunkSize)
 }

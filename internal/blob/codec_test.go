@@ -1,0 +1,364 @@
+package blob
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// smoothFloats builds a compressible float64 signal: a small
+// fluctuation on a large mean, so consecutive values share their
+// sign/exponent/high-mantissa bytes and the XOR delta is confined to
+// the low bytes — the shape the byte-level XOR codec exploits.
+func smoothFloats(n int, seed int64) []byte {
+	out := make([]byte, 8*n)
+	for i := 0; i < n; i++ {
+		v := 1000.0 + math.Sin(float64(i)/37.0+float64(seed))*1e-9
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// seqInts builds sequential int64s — byte-plane redundant, the shuffle
+// filter's best case.
+func seqInts(n int, start int64) []byte {
+	out := make([]byte, 8*n)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(start+int64(i)))
+	}
+	return out
+}
+
+func encodeDecodeBlock(t *testing.T, blk []byte, c Codec) []byte {
+	t.Helper()
+	scr := newCodecScratch()
+	format, width, payload := encodeBlock(blk, c, scr)
+	stored := append([]byte(nil), payload...) // payload aliases scr
+	dst := make([]byte, len(blk))
+	dec, err := decodeBlock(format, width, stored, len(blk), dst, scr)
+	if err != nil {
+		t.Fatalf("decodeBlock(%v, width=%d): %v", c, width, err)
+	}
+	return dec
+}
+
+func TestShuffleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, width := range []int{1, 2, 3, 4, 7, 8, 16} {
+		for _, n := range []int{0, 1, width - 1, width, width + 1, 5 * width, 1000, 1003} {
+			if n < 0 {
+				continue
+			}
+			src := randBytes(rng, n)
+			shuffled := make([]byte, n)
+			back := make([]byte, n)
+			shuffle(src, width, shuffled)
+			unshuffle(shuffled, width, back)
+			if !bytes.Equal(src, back) {
+				t.Fatalf("shuffle width=%d n=%d not invertible", width, n)
+			}
+		}
+	}
+}
+
+func TestLZRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cases := [][]byte{
+		nil,
+		[]byte("a"),
+		[]byte("abcabcabcabcabcabcabc"),
+		bytes.Repeat([]byte{0}, BlockSize),  // pure RLE (overlapping match)
+		bytes.Repeat([]byte{1, 2, 3}, 1000), // short period
+		randBytes(rng, 300),                 // incompressible
+		append(bytes.Repeat([]byte{9}, 500), randBytes(rng, 500)...), // mixed
+		seqInts(BlockSize/8, 42),
+	}
+	for i, src := range cases {
+		enc := lzAppend(nil, src)
+		dst := make([]byte, len(src))
+		if err := lzDecode(enc, dst); err != nil {
+			t.Fatalf("case %d: lzDecode: %v", i, err)
+		}
+		if !bytes.Equal(src, dst) {
+			t.Fatalf("case %d: lz round trip mismatch", i)
+		}
+	}
+}
+
+func TestXORRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	cases := [][]byte{
+		nil,
+		[]byte{1, 2, 3}, // sub-word tail only
+		smoothFloats(100, 1),
+		bytes.Repeat([]byte{5}, 64), // repeats (zero control bytes)
+		randBytes(rng, 128),
+		append(smoothFloats(10, 2), 0xAA, 0xBB, 0xCC), // word body + tail
+	}
+	for i, src := range cases {
+		enc := xorAppend(nil, src, 0)
+		dst := make([]byte, len(src))
+		if err := xorDecode(enc, dst, 0); err != nil {
+			t.Fatalf("case %d: xorDecode: %v", i, err)
+		}
+		if !bytes.Equal(src, dst) {
+			t.Fatalf("case %d: xor round trip mismatch", i)
+		}
+	}
+}
+
+func TestEncodeBlockRoundTripAllCodecs(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	inputs := map[string][]byte{
+		"smooth-floats":  smoothFloats(BlockSize/8, 3),
+		"seq-ints":       seqInts(BlockSize/8, 1000),
+		"zeros":          make([]byte, BlockSize),
+		"incompressible": randBytes(rng, BlockSize),
+		"tiny":           {1},
+		"short-tail":     randBytes(rng, 777),
+	}
+	codecs := []Codec{
+		{Kind: CodecXOR, Width: 8},
+		{Kind: CodecXOR, Width: 8, Phase: 4},
+		{Kind: CodecLZ, Width: 8},
+		{Kind: CodecLZ, Width: 4},
+		{Kind: CodecLZ, Width: 1},
+	}
+	for name, blk := range inputs {
+		for _, c := range codecs {
+			dec := encodeDecodeBlock(t, blk, c)
+			if !bytes.Equal(blk, dec) {
+				t.Errorf("%s under %+v: round trip mismatch", name, c)
+			}
+		}
+	}
+}
+
+func TestEncodeBlockRawFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	blk := randBytes(rng, BlockSize)
+	scr := newCodecScratch()
+	format, _, payload := encodeBlock(blk, Codec{Kind: CodecLZ, Width: 8}, scr)
+	if format != blockRaw {
+		t.Errorf("incompressible block stored as format %d, want raw", format)
+	}
+	if &payload[0] != &blk[0] {
+		t.Error("raw fallback must alias the input block (no copy)")
+	}
+}
+
+// TestDecodeRejectsCorrupt drives truncated and mangled streams through
+// every decoder: each must fail with ErrBadRef, never panic.
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	src := smoothFloats(512, 4)
+	scr := newCodecScratch()
+	for _, c := range []Codec{{Kind: CodecXOR, Width: 8}, {Kind: CodecLZ, Width: 8}} {
+		format, width, payload := encodeBlock(src, c, scr)
+		if format == blockRaw {
+			t.Fatalf("%+v: test input unexpectedly incompressible", c)
+		}
+		stored := append([]byte(nil), payload...)
+		dst := make([]byte, len(src))
+		for cut := 0; cut < len(stored); cut += 7 {
+			if _, err := decodeBlock(format, width, stored[:cut], len(src), dst, scr); err == nil {
+				t.Fatalf("%+v: truncation at %d decoded successfully", c, cut)
+			} else if !errors.Is(err, ErrBadRef) {
+				t.Fatalf("%+v: truncation error %v not ErrBadRef", c, err)
+			}
+		}
+		// Wrong logical length must be caught by the LZ decoder (the XOR
+		// stream has no internal length framing beyond the word grid, so
+		// only the chunk header guards it there).
+		if c.Kind == CodecLZ {
+			if _, err := decodeBlock(format, width, stored, len(src)-1, dst, scr); err == nil {
+				t.Fatalf("%+v: wrong logical length decoded successfully", c)
+			}
+		}
+	}
+	// Unknown format byte.
+	if _, err := decodeBlock(99, 0, []byte{1, 2}, 2, make([]byte, 2), scr); !errors.Is(err, ErrBadRef) {
+		t.Errorf("unknown format: %v", err)
+	}
+}
+
+// TestXORPhaseAlignsHeaderOffsetFloats is the regression the Phase
+// field exists for: a serialized array's header shifts the float64 grid
+// off the 8-byte stream grid, and without the phase the XOR deltas
+// straddle element boundaries and stop compressing.
+func TestXORPhaseAlignsHeaderOffsetFloats(t *testing.T) {
+	blk := append([]byte{1, 2, 3, 4}, smoothFloats(BlockSize/8-1, 9)...)
+	scr := newCodecScratch()
+	_, _, misaligned := encodeBlock(blk, Codec{Kind: CodecXOR, Width: 8}, scr)
+	misLen := len(misaligned)
+	format, width, aligned := encodeBlock(blk, Codec{Kind: CodecXOR, Width: 8, Phase: 4}, scr)
+	if format != blockXOR || width != 4 {
+		t.Fatalf("phased encode: format=%d width=%d, want XOR with phase 4", format, width)
+	}
+	if len(aligned)*2 >= misLen {
+		t.Errorf("phase 4 encodes %d bytes vs %d misaligned; expected at least 2x better", len(aligned), misLen)
+	}
+	dec := encodeDecodeBlock(t, blk, Codec{Kind: CodecXOR, Width: 8, Phase: 4})
+	if !bytes.Equal(dec, blk) {
+		t.Fatal("phased round trip mismatch")
+	}
+}
+
+// FuzzCodecRoundTrip fuzzes the compress∘decompress identity over
+// random codec choices and data shapes, and feeds the same bytes to the
+// decoders directly (decoding attacker-controlled input must error, not
+// panic).
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add(uint8(1), uint8(8), uint8(0), []byte{})
+	f.Add(uint8(1), uint8(1), uint8(0), []byte("hello hello hello"))
+	f.Add(uint8(2), uint8(8), uint8(0), smoothFloats(64, 5))
+	f.Add(uint8(2), uint8(8), uint8(4), smoothFloats(64, 5))                          // phased word grid
+	f.Add(uint8(1), uint8(4), uint8(0), make([]byte, 1000))                           // all-zero
+	f.Add(uint8(2), uint8(8), uint8(0), randBytes(rand.New(rand.NewSource(23)), 512)) // incompressible
+	f.Add(uint8(0), uint8(0), uint8(7), []byte{0, 255, 0, 255})
+	f.Fuzz(func(t *testing.T, kind, width, phase uint8, data []byte) {
+		if len(data) > BlockSize {
+			data = data[:BlockSize]
+		}
+		c := Codec{Kind: CodecKind(kind % 3), Width: int(width), Phase: int(phase % 8)}
+		scr := newCodecScratch()
+		format, w, payload := encodeBlock(data, c, scr)
+		stored := append([]byte(nil), payload...)
+		if len(data) > 0 {
+			dst := make([]byte, len(data))
+			dec, err := decodeBlock(format, w, stored, len(data), dst, scr)
+			if err != nil {
+				t.Fatalf("decode of own encoding failed: %v", err)
+			}
+			if !bytes.Equal(dec, data) {
+				t.Fatalf("round trip mismatch: kind=%d width=%d len=%d", kind, width, len(data))
+			}
+		}
+		// Decoders over raw fuzz input: must never panic.
+		dst := make([]byte, len(data)+16)
+		_ = lzDecode(data, dst)
+		_ = xorDecode(data, dst, 0)
+		_, _ = decodeBlock(format, w, data, len(dst), dst, scr)
+		_ = forEachBlock(data, len(data), func(int, byte, byte, int, []byte) error { return nil })
+	})
+}
+
+// ratioCase is one row of the compression-ratio table the bench
+// artifact publishes.
+type ratioCase struct {
+	name  string
+	codec Codec
+	data  []byte
+}
+
+func ratioCases() []ratioCase {
+	rng := rand.New(rand.NewSource(29))
+	const n = 1 << 20 // 1 MiB per row
+	return []ratioCase{
+		{"xor/float64-smooth", Codec{Kind: CodecXOR, Width: 8}, smoothFloats(n/8, 6)},
+		{"xor/float64-random", Codec{Kind: CodecXOR, Width: 8}, randBytes(rng, n)},
+		{"lz/int64-seq", Codec{Kind: CodecLZ, Width: 8}, seqInts(n/8, 0)},
+		{"lz/int32-small", Codec{Kind: CodecLZ, Width: 4}, func() []byte {
+			b := make([]byte, n)
+			for i := 0; i < n/4; i++ {
+				binary.LittleEndian.PutUint32(b[4*i:], uint32(rng.Intn(100)))
+			}
+			return b
+		}()},
+		{"lz/bytes-zero", Codec{Kind: CodecLZ, Width: 1}, make([]byte, n)},
+		{"lz/bytes-random", Codec{Kind: CodecLZ, Width: 1}, randBytes(rng, n)},
+	}
+}
+
+// TestCompressionRatioTable measures ratio and encode/decode throughput
+// per codec and element type and prints one parseable line per row
+// (the bench regeneration script lifts these into the bench artifact).
+func TestCompressionRatioTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ratio table skipped in -short")
+	}
+	scr := newCodecScratch()
+	for _, rc := range ratioCases() {
+		var storedTotal int
+		blocks := make([][]byte, 0, len(rc.data)/BlockSize+1)
+		formats := make([]byte, 0, cap(blocks))
+		widths := make([]byte, 0, cap(blocks))
+		logicals := make([]int, 0, cap(blocks))
+		encStart := time.Now()
+		for off := 0; off < len(rc.data); off += BlockSize {
+			end := off + BlockSize
+			if end > len(rc.data) {
+				end = len(rc.data)
+			}
+			format, w, payload := encodeBlock(rc.data[off:end], rc.codec, scr)
+			storedTotal += len(payload)
+			blocks = append(blocks, append([]byte(nil), payload...))
+			formats = append(formats, format)
+			widths = append(widths, w)
+			logicals = append(logicals, end-off)
+		}
+		encSecs := time.Since(encStart).Seconds()
+		dst := make([]byte, BlockSize)
+		decStart := time.Now()
+		for i, stored := range blocks {
+			dec, err := decodeBlock(formats[i], widths[i], stored, logicals[i], dst, scr)
+			if err != nil {
+				t.Fatalf("%s: decode block %d: %v", rc.name, i, err)
+			}
+			_ = dec
+		}
+		decSecs := time.Since(decStart).Seconds()
+		mb := float64(len(rc.data)) / (1 << 20)
+		ratio := float64(len(rc.data)) / float64(storedTotal)
+		// Parseable by scripts/bench_baseline.sh: keep this format.
+		fmt.Printf("ratio-table: name=%s ratio=%.2f enc_mbps=%.0f dec_mbps=%.0f\n",
+			rc.name, ratio, mb/encSecs, mb/decSecs)
+		if rc.name == "xor/float64-smooth" && ratio < 1.5 {
+			t.Errorf("smooth float64 ratio = %.2f, want >= 1.5", ratio)
+		}
+		if rc.name == "lz/int64-seq" && ratio < 2 {
+			t.Errorf("sequential int64 ratio = %.2f, want >= 2", ratio)
+		}
+		if rc.name == "lz/bytes-random" && ratio < 0.99 {
+			t.Errorf("incompressible ratio = %.2f, must not expand (raw fallback)", ratio)
+		}
+	}
+}
+
+func benchCodec(b *testing.B, data []byte, c Codec, decode bool) {
+	scr := newCodecScratch()
+	format, w, payload := encodeBlock(data, c, scr)
+	stored := append([]byte(nil), payload...)
+	dst := make([]byte, len(data))
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if decode {
+			if _, err := decodeBlock(format, w, stored, len(data), dst, scr); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			encodeBlock(data, c, scr)
+		}
+	}
+}
+
+func BenchmarkCodecXOREncode(b *testing.B) {
+	benchCodec(b, smoothFloats(BlockSize/8, 7), Codec{Kind: CodecXOR, Width: 8}, false)
+}
+
+func BenchmarkCodecXORDecode(b *testing.B) {
+	benchCodec(b, smoothFloats(BlockSize/8, 7), Codec{Kind: CodecXOR, Width: 8}, true)
+}
+
+func BenchmarkCodecLZEncode(b *testing.B) {
+	benchCodec(b, seqInts(BlockSize/8, 0), Codec{Kind: CodecLZ, Width: 8}, false)
+}
+
+func BenchmarkCodecLZDecode(b *testing.B) {
+	benchCodec(b, seqInts(BlockSize/8, 0), Codec{Kind: CodecLZ, Width: 8}, true)
+}

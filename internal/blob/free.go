@@ -18,6 +18,7 @@ package blob
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"sqlarray/internal/pages"
 )
@@ -79,43 +80,17 @@ func (s *Store) allocPage(t pages.PageType) (*pages.Frame, error) {
 	return f, nil
 }
 
-// Free returns every page of a blob — chunk pages and directory pages —
-// to the free list. A null ref is a no-op. The ref must not be used
-// afterward; reading a freed blob returns type-mismatch errors (the
-// pages are retyped TypeFree).
-func (s *Store) Free(ref Ref) error {
-	if ref.IsNull() {
+// freePages pushes the given pages onto the persistent free list,
+// retyping them TypeFree.
+func (s *Store) freePages(ids []pages.PageID) error {
+	if len(ids) == 0 {
 		return nil
-	}
-	// Collect directory page ids while loading the chunk list, so both
-	// levels of the blob tree are reclaimed.
-	var dirIDs []pages.PageID
-	var chunkIDs []pages.PageID
-	id := ref.Root
-	for id != pages.InvalidPageID {
-		f, err := s.bp.Fetch(id)
-		if err != nil {
-			return err
-		}
-		if f.Page.Type() != pages.TypeBlobTree {
-			s.bp.Unpin(f, false)
-			return fmt.Errorf("%w: page %d is not a blob directory", ErrBadRef, id)
-		}
-		used := f.Page.Used()
-		body := f.Page.Body()
-		for i := 0; i < used; i += 4 {
-			chunkIDs = append(chunkIDs, pages.PageID(binary.LittleEndian.Uint32(body[i:])))
-		}
-		dirIDs = append(dirIDs, id)
-		next := f.Page.Next()
-		s.bp.Unpin(f, false)
-		id = next
 	}
 	head, err := s.freeHead()
 	if err != nil {
 		return err
 	}
-	push := func(id pages.PageID) error {
+	for _, id := range ids {
 		f, err := s.bp.Fetch(id)
 		if err != nil {
 			return err
@@ -125,19 +100,28 @@ func (s *Store) Free(ref Ref) error {
 		s.bp.Unpin(f, true)
 		head = id
 		s.stats.pagesFreed.Add(1)
-		return nil
-	}
-	for _, id := range chunkIDs {
-		if err := push(id); err != nil {
-			return err
-		}
-	}
-	for _, id := range dirIDs {
-		if err := push(id); err != nil {
-			return err
-		}
 	}
 	return s.setFreeHead(head)
+}
+
+// Free returns every page of a blob — chunk pages and directory pages —
+// to the free list, for either chunk format. A null ref is a no-op. The
+// ref must not be used afterward; reading a freed blob returns
+// type-mismatch errors (the pages are retyped TypeFree).
+func (s *Store) Free(ref Ref) error {
+	if ref.IsNull() {
+		return nil
+	}
+	chunks, dirIDs, _, err := s.walkDir(ref)
+	if err != nil {
+		return err
+	}
+	ids := make([]pages.PageID, 0, len(chunks)+len(dirIDs))
+	for _, ci := range chunks {
+		ids = append(ids, ci.id)
+	}
+	ids = append(ids, dirIDs...)
+	return s.freePages(ids)
 }
 
 // FreeListLen walks the free list and returns its length (test hook).
@@ -174,6 +158,12 @@ func (s *Store) FreeListLen() (int, error) {
 // This is the storage half of in-place subarray updates: rewriting a
 // slice of a multi-chunk array dirties (and later logs) only the chunks
 // the slice lands on, never the whole blob.
+//
+// On compressed blobs each touched chunk is decoded whole, patched, and
+// re-encoded on its block grid. If the re-encoded chunk no longer fits
+// its page (the new bytes compress worse), the chunk is split across
+// additional pages and the directory chain is rewritten in place — the
+// blob's Ref (its root page and length) never changes.
 func (s *Store) WriteRuns(ref Ref, src []byte, runs []Run) error {
 	if len(runs) == 0 {
 		return nil
@@ -181,9 +171,13 @@ func (s *Store) WriteRuns(ref Ref, src []byte, runs []Run) error {
 	if ref.IsNull() {
 		return fmt.Errorf("%w: null blob", ErrBadRef)
 	}
-	ids, err := s.chunkIDs(ref)
+	chunks, dirIDs, compressed, err := s.walkDir(ref)
 	if err != nil {
 		return err
+	}
+	var cover int64
+	if n := len(chunks); n > 0 {
+		cover = chunks[n-1].off + int64(chunks[n-1].n)
 	}
 	for _, r := range runs {
 		if r.Len <= 0 {
@@ -195,29 +189,42 @@ func (s *Store) WriteRuns(ref Ref, src []byte, runs []Run) error {
 		if r.DstOff < 0 || r.DstOff+r.Len > len(src) {
 			return fmt.Errorf("%w: source range [%d,%d) of %d", ErrShortRead, r.DstOff, r.DstOff+r.Len, len(src))
 		}
-		first := r.SrcOff / ChunkSize
-		last := (r.SrcOff + r.Len - 1) / ChunkSize
+		if int64(r.SrcOff+r.Len) > cover {
+			return fmt.Errorf("%w: chunk %d of %d", ErrBadRef, len(chunks), len(chunks))
+		}
+	}
+	if !compressed {
+		return s.writeRunsRaw(src, runs, chunks)
+	}
+	return s.writeRunsCompressed(ref, src, runs, chunks, dirIDs)
+}
+
+// writeRunsRaw patches raw chunk pages in place.
+func (s *Store) writeRunsRaw(src []byte, runs []Run, chunks []chunkInfo) error {
+	for _, r := range runs {
 		read := 0
-		for c := first; c <= last; c++ {
-			if c >= len(ids) {
-				return fmt.Errorf("%w: chunk %d of %d", ErrBadRef, c, len(ids))
+		for c := findChunk(chunks, int64(r.SrcOff)); read < r.Len; c++ {
+			if c < 0 || c >= len(chunks) {
+				return fmt.Errorf("%w: chunk %d of %d", ErrBadRef, c, len(chunks))
 			}
-			f, err := s.bp.Fetch(ids[c])
+			ci := chunks[c]
+			f, err := s.bp.Fetch(ci.id)
 			if err != nil {
 				return err
 			}
 			if f.Page.Type() != pages.TypeBlobData {
 				s.bp.Unpin(f, false)
-				return fmt.Errorf("%w: page %d is not a blob chunk", ErrBadRef, ids[c])
+				return fmt.Errorf("%w: page %d is not a blob chunk", ErrBadRef, ci.id)
 			}
-			lo := 0
-			if c == first {
-				lo = r.SrcOff % ChunkSize
-			}
+			lo := int(int64(r.SrcOff+read) - ci.off)
 			hi := f.Page.Used()
 			span := hi - lo
 			if rem := r.Len - read; span > rem {
 				span = rem
+			}
+			if span <= 0 {
+				s.bp.Unpin(f, false)
+				return fmt.Errorf("%w: run wanted %d bytes, wrote %d", ErrShortRead, r.Len, read)
 			}
 			n := copy(f.Page.Body()[lo:lo+span], src[r.DstOff+read:])
 			read += n
@@ -225,9 +232,178 @@ func (s *Store) WriteRuns(ref Ref, src []byte, runs []Run) error {
 			s.stats.chunksWritten.Add(1)
 			s.stats.bytesWritten.Add(uint64(n))
 		}
-		if read != r.Len {
-			return fmt.Errorf("%w: run wanted %d bytes, wrote %d", ErrShortRead, r.Len, read)
+	}
+	return nil
+}
+
+// chunkPatch is one contiguous span to overwrite within a chunk:
+// chunk-relative offset and a span of src.
+type chunkPatch struct {
+	chunkOff, srcOff, n int
+}
+
+// writeRunsCompressed patches compressed chunks: decode whole chunk,
+// apply every run span landing on it, re-encode on the chunk-local
+// block grid, and rewrite — in place when the result still fits the
+// page, splitting into freshly allocated pages (and rewriting the
+// directory) when it does not.
+func (s *Store) writeRunsCompressed(ref Ref, src []byte, runs []Run, chunks []chunkInfo, dirIDs []pages.PageID) error {
+	// Group the runs' spans by touched chunk so each chunk is decoded
+	// and re-encoded exactly once no matter how many runs land on it.
+	patches := make(map[int][]chunkPatch)
+	touched := make([]int, 0, len(runs))
+	for _, r := range runs {
+		read := 0
+		for c := findChunk(chunks, int64(r.SrcOff)); read < r.Len; c++ {
+			ci := chunks[c]
+			lo := int(int64(r.SrcOff+read) - ci.off)
+			span := ci.n - lo
+			if rem := r.Len - read; span > rem {
+				span = rem
+			}
+			if _, ok := patches[c]; !ok {
+				touched = append(touched, c)
+			}
+			patches[c] = append(patches[c], chunkPatch{lo, r.DstOff + read, span})
+			read += span
 		}
+	}
+	sort.Ints(touched)
+	scr := scratchPool.Get().(*codecScratch)
+	defer scratchPool.Put(scr)
+	replacements := make(map[int][]chunkInfo)
+	for _, c := range touched {
+		ci := chunks[c]
+		f, err := s.bp.Fetch(ci.id)
+		if err != nil {
+			return err
+		}
+		if f.Page.Type() != pages.TypeBlobData {
+			s.bp.Unpin(f, false)
+			return fmt.Errorf("%w: page %d is not a blob chunk", ErrBadRef, ci.id)
+		}
+		codec, err := chunkCodec(&f.Page)
+		if err != nil {
+			s.bp.Unpin(f, false)
+			return err
+		}
+		buf := make([]byte, ci.n)
+		if err := decodeWholeChunk(&f.Page, buf, scr); err != nil {
+			s.bp.Unpin(f, false)
+			return err
+		}
+		patched := 0
+		for _, p := range patches[c] {
+			copy(buf[p.chunkOff:p.chunkOff+p.n], src[p.srcOff:p.srcOff+p.n])
+			patched += p.n
+		}
+		// Re-encode on the chunk-local BlockSize grid. Chunk logical
+		// starts are always block-aligned (packing never splits a
+		// block), so the grid is stable across rewrites.
+		blocks, stage := encodeBlocks(buf, codec, scr, nil)
+		plan := packBlocks(blocks)
+		if len(plan) == 1 {
+			w := fillChunkPage(&f.Page, codec, blocks, stage)
+			s.bp.Unpin(f, true)
+			s.stats.chunksWritten.Add(1)
+			s.stats.bytesWritten.Add(uint64(patched))
+			s.stats.compressedBytesWritten.Add(uint64(w))
+			continue
+		}
+		// Split: the patched bytes compress worse and no longer fit one
+		// page. The first part reuses this page (keeping its id); the
+		// rest get fresh pages.
+		repl := make([]chunkInfo, 0, len(plan))
+		for i, pk := range plan {
+			frame := f
+			if i > 0 {
+				frame, err = s.allocPage(pages.TypeBlobData)
+				if err != nil {
+					return err
+				}
+			}
+			w := fillChunkPage(&frame.Page, codec, blocks[pk.first:pk.first+pk.n], stage)
+			repl = append(repl, chunkInfo{id: frame.Page.ID, n: pk.logical})
+			s.bp.Unpin(frame, true)
+			s.stats.chunksWritten.Add(1)
+			s.stats.compressedBytesWritten.Add(uint64(w))
+		}
+		s.stats.bytesWritten.Add(uint64(patched))
+		replacements[c] = repl
+	}
+	if len(replacements) == 0 {
+		return nil
+	}
+	// Splice the split chunks into the chunk list, recompute logical
+	// offsets, and rewrite the directory chain in place.
+	rebuilt := make([]chunkInfo, 0, len(chunks)+2*len(replacements))
+	for i, ci := range chunks {
+		if repl, ok := replacements[i]; ok {
+			rebuilt = append(rebuilt, repl...)
+		} else {
+			rebuilt = append(rebuilt, ci)
+		}
+	}
+	var off int64
+	for i := range rebuilt {
+		rebuilt[i].off = off
+		off += int64(rebuilt[i].n)
+	}
+	if off != ref.Length {
+		return fmt.Errorf("%w: rewrite covers %d bytes, ref declares %d", ErrBadRef, off, ref.Length)
+	}
+	return s.rewriteDirectory(dirIDs, rebuilt)
+}
+
+// rewriteDirectory rewrites a compressed blob's directory chain in
+// place to describe chunks, extending the chain when the chunk list
+// outgrew it and freeing surplus pages when it shrank. The first
+// directory page is always reused, so the blob's Ref never changes.
+func (s *Store) rewriteDirectory(dirIDs []pages.PageID, chunks []chunkInfo) error {
+	var prev *pages.Frame
+	di := 0
+	for off := 0; off < len(chunks); off += entriesPerDirC {
+		end := off + entriesPerDirC
+		if end > len(chunks) {
+			end = len(chunks)
+		}
+		var f *pages.Frame
+		var err error
+		if di < len(dirIDs) {
+			f, err = s.bp.Fetch(dirIDs[di])
+			if err == nil && f.Page.Type() != pages.TypeBlobTree {
+				s.bp.Unpin(f, false)
+				err = fmt.Errorf("%w: page %d is not a blob directory", ErrBadRef, dirIDs[di])
+			}
+		} else {
+			f, err = s.allocPage(pages.TypeBlobTree)
+		}
+		if err != nil {
+			if prev != nil {
+				s.bp.Unpin(prev, true)
+			}
+			return err
+		}
+		di++
+		f.Page.SetFlags(pages.FlagCompressedBlob)
+		f.Page.SetNext(pages.InvalidPageID)
+		body := f.Page.Body()
+		for i, ci := range chunks[off:end] {
+			binary.LittleEndian.PutUint32(body[8*i:], uint32(ci.id))
+			binary.LittleEndian.PutUint32(body[8*i+4:], uint32(ci.n))
+		}
+		f.Page.SetUsed((end - off) * 8)
+		if prev != nil {
+			prev.Page.SetNext(f.Page.ID)
+			s.bp.Unpin(prev, true)
+		}
+		prev = f
+	}
+	if prev != nil {
+		s.bp.Unpin(prev, true)
+	}
+	if di < len(dirIDs) {
+		return s.freePages(dirIDs[di:])
 	}
 	return nil
 }

@@ -13,11 +13,20 @@
 //   - RunsView pins only the chunks a run list touches (subarray-shaped
 //     consumers; each run is visited as page-resident segments).
 //
-// Both must be Released exactly like a Frame must be Unpinned: a leaked
-// view holds its frames pinned, which blocks eviction and
-// DropCleanBuffers — the golden suites assert PinnedFrames() == 0 after
-// every query for this reason. Release is idempotent and returns the
-// frames to their shard's LRU, making them evictable again.
+// Compressed chunks cannot alias page bodies: their page bytes are the
+// packed codec stream, not the payload. For those, both views decode
+// the whole touched chunk into a view-owned buffer and unpin the frame
+// immediately — the view then holds memory, not pins, so a compressed
+// view never blocks eviction for longer than the decode itself. The
+// view API is identical either way; callers cannot tell the formats
+// apart.
+//
+// Views must be Released exactly like a Frame must be Unpinned: a
+// leaked view holds its (raw-chunk) frames pinned, which blocks
+// eviction and DropCleanBuffers — the golden suites assert
+// PinnedFrames() == 0 after every query for this reason. Release is
+// idempotent and returns the frames to their shard's LRU, making them
+// evictable again.
 package blob
 
 import (
@@ -28,64 +37,99 @@ import (
 )
 
 // View is a whole blob pinned in the buffer pool, exposing the chunk
-// page bodies without copying. Chunk i holds bytes
-// [i*ChunkSize, min((i+1)*ChunkSize, Len())).
+// page bodies without copying. Chunk i holds the logical byte range
+// recorded in the blob directory (fixed ChunkSize strides for raw
+// blobs, variable for compressed ones).
 type View struct {
 	s        *Store
 	ref      Ref
+	chunks   []chunkInfo
 	frames   []*pages.Frame
 	bodies   [][]byte
 	released bool
 }
 
 // View pins all chunk pages of a blob and returns the zero-copy view.
-// The caller must Release it. Pinning a blob holds NumChunks(Len())
+// The caller must Release it. Pinning a raw blob holds NumChunks(Len())
 // frames, so very large blobs should prefer RunsView or the copying
-// reads; a null ref yields an empty view.
+// reads; a null ref yields an empty view. Compressed chunks are decoded
+// into view-owned buffers and their frames unpinned immediately.
 func (s *Store) View(ref Ref) (*View, error) {
 	v := &View{s: s, ref: ref}
 	if ref.IsNull() {
 		return v, nil
 	}
-	ids, err := s.chunkIDs(ref)
+	chunks, compressed, err := s.loadChunks(ref)
 	if err != nil {
 		return nil, err
 	}
-	v.frames = make([]*pages.Frame, 0, len(ids))
-	v.bodies = make([][]byte, 0, len(ids))
-	for _, id := range ids {
-		f, err := s.bp.Fetch(id)
+	v.chunks = chunks
+	var scr *codecScratch
+	if compressed {
+		scr = scratchPool.Get().(*codecScratch)
+		defer scratchPool.Put(scr)
+	}
+	v.frames = make([]*pages.Frame, 0, len(chunks))
+	v.bodies = make([][]byte, 0, len(chunks))
+	for _, ci := range chunks {
+		body, f, err := s.loadChunkBody(ci, compressed, scr)
 		if err != nil {
 			v.Release()
 			return nil, err
 		}
-		if f.Page.Type() != pages.TypeBlobData {
-			s.bp.Unpin(f, false)
-			v.Release()
-			return nil, fmt.Errorf("%w: page %d is not a blob chunk", ErrBadRef, id)
+		if f != nil {
+			v.frames = append(v.frames, f)
 		}
-		used := f.Page.Used()
-		s.stats.chunkReads.Add(1)
-		s.stats.bytesRead.Add(uint64(used))
-		v.frames = append(v.frames, f)
-		v.bodies = append(v.bodies, f.Page.Body()[:used])
+		v.bodies = append(v.bodies, body)
 	}
 	return v, nil
+}
+
+// loadChunkBody fetches one chunk and returns its logical payload. Raw
+// chunks keep the frame pinned and alias its body (frame returned for
+// the caller to own); compressed chunks decode into a fresh buffer and
+// unpin before returning (frame is nil). Counts chunkReads/bytesRead
+// load-time, matching the seed View semantics.
+func (s *Store) loadChunkBody(ci chunkInfo, compressed bool, scr *codecScratch) ([]byte, *pages.Frame, error) {
+	f, err := s.bp.Fetch(ci.id)
+	if err != nil {
+		return nil, nil, err
+	}
+	if f.Page.Type() != pages.TypeBlobData {
+		s.bp.Unpin(f, false)
+		return nil, nil, fmt.Errorf("%w: page %d is not a blob chunk", ErrBadRef, ci.id)
+	}
+	s.stats.chunkReads.Add(1)
+	used := f.Page.Used()
+	if !compressed {
+		s.stats.bytesRead.Add(uint64(used))
+		return f.Page.Body()[:used], f, nil
+	}
+	s.stats.compressedBytesRead.Add(uint64(used))
+	buf := make([]byte, ci.n)
+	derr := decodeWholeChunk(&f.Page, buf, scr)
+	s.bp.Unpin(f, false)
+	if derr != nil {
+		return nil, nil, derr
+	}
+	s.stats.bytesRead.Add(uint64(ci.n))
+	return buf, nil, nil
 }
 
 // Len returns the blob length in bytes.
 func (v *View) Len() int64 { return v.ref.Length }
 
-// NumChunks returns how many chunk pages the view pins.
-func (v *View) NumChunks() int { return len(v.frames) }
+// NumChunks returns how many chunks the view exposes.
+func (v *View) NumChunks() int { return len(v.bodies) }
 
-// Chunk returns chunk i's payload bytes, aliasing the pinned page body.
-// Valid until Release.
+// Chunk returns chunk i's payload bytes — aliasing the pinned page body
+// for raw chunks, view-owned decoded bytes for compressed ones. Valid
+// until Release.
 func (v *View) Chunk(i int) []byte { return v.bodies[i] }
 
-// Contiguous returns the whole payload as one slice without copying,
-// which is possible exactly when the blob occupies a single chunk page
-// (<= ChunkSize bytes). Larger blobs return ok=false — the copying
+// Contiguous returns the whole payload as one slice without a
+// per-call copy, which is possible exactly when the blob occupies a
+// single chunk page. Larger blobs return ok=false — the copying
 // fallback (AppendTo / ReadAll) applies.
 func (v *View) Contiguous() ([]byte, bool) {
 	if len(v.bodies) == 1 {
@@ -94,7 +138,7 @@ func (v *View) Contiguous() ([]byte, bool) {
 	return nil, false
 }
 
-// AppendTo appends the whole payload to dst (copying from the pinned
+// AppendTo appends the whole payload to dst (copying from the loaded
 // bodies — no second directory walk or chunk fetch).
 func (v *View) AppendTo(dst []byte) []byte {
 	for _, b := range v.bodies {
@@ -103,17 +147,14 @@ func (v *View) AppendTo(dst []byte) []byte {
 	return dst
 }
 
-// ReadAt copies blob bytes [off, off+len(dst)) out of the pinned bodies.
+// ReadAt copies blob bytes [off, off+len(dst)) out of the loaded bodies.
 func (v *View) ReadAt(dst []byte, off int64) error {
 	if off < 0 || off+int64(len(dst)) > v.ref.Length {
 		return fmt.Errorf("%w: [%d,%d) of %d", ErrShortRead, off, off+int64(len(dst)), v.ref.Length)
 	}
 	w := 0
-	for c := int(off / ChunkSize); w < len(dst) && c < len(v.bodies); c++ {
-		lo := 0
-		if c == int(off/ChunkSize) {
-			lo = int(off % ChunkSize)
-		}
+	for c := findChunk(v.chunks, off); w < len(dst) && c >= 0 && c < len(v.bodies); c++ {
+		lo := int(off + int64(w) - v.chunks[c].off)
 		w += copy(dst[w:], v.bodies[c][lo:])
 	}
 	if w != len(dst) {
@@ -122,8 +163,8 @@ func (v *View) ReadAt(dst []byte, off int64) error {
 	return nil
 }
 
-// Release unpins every chunk page, returning the frames to the LRU.
-// Idempotent; the view must not be used afterward.
+// Release unpins every pinned chunk page, returning the frames to the
+// LRU. Idempotent; the view must not be used afterward.
 func (v *View) Release() {
 	if v.released {
 		return
@@ -139,11 +180,14 @@ func (v *View) Release() {
 // RunsView is the pinned form of ReadRuns: only the chunk pages the run
 // list touches are fetched (each exactly once, even when several runs
 // land on the same chunk), and the run bytes are exposed as segments of
-// the pinned page bodies instead of being copied out.
+// the chunk bodies instead of being copied out. Compressed chunks are
+// decoded whole into view-owned buffers (decompress-then-slice: only
+// touched chunks are ever fetched or decoded, never the whole blob).
 type RunsView struct {
 	s        *Store
 	ref      Ref
 	runs     []Run
+	chunks   []chunkInfo
 	chunkIdx []int // sorted, deduped chunk indices the runs touch
 	frames   []*pages.Frame
 	bodies   [][]byte // parallel to chunkIdx
@@ -162,11 +206,6 @@ func (s *Store) ReadRunsPinned(ref Ref, runs []Run) (*RunsView, error) {
 	if ref.IsNull() {
 		return nil, fmt.Errorf("%w: null blob", ErrBadRef)
 	}
-	// Collect the touched chunk indices: append each run's chunk range,
-	// then sort and compact. SubarrayPlan emits runs in ascending source
-	// order, so the sort is usually a no-op pass over an already-ordered
-	// slice (cheaper than a map for the stencil-sized run counts here).
-	idx := make([]int, 0, len(runs)+4)
 	for _, r := range runs {
 		if r.Len <= 0 {
 			return nil, fmt.Errorf("%w: run length %d", ErrShortRead, r.Len)
@@ -174,8 +213,60 @@ func (s *Store) ReadRunsPinned(ref Ref, runs []Run) (*RunsView, error) {
 		if r.SrcOff < 0 || int64(r.SrcOff+r.Len) > ref.Length {
 			return nil, fmt.Errorf("%w: run [%d,%d) of %d", ErrShortRead, r.SrcOff, r.SrcOff+r.Len, ref.Length)
 		}
-		for c := r.SrcOff / ChunkSize; c <= (r.SrcOff+r.Len-1)/ChunkSize; c++ {
+	}
+	chunks, compressed, err := s.loadChunks(ref)
+	if err != nil {
+		return nil, err
+	}
+	rv.chunks = chunks
+	var cover int64
+	if n := len(chunks); n > 0 {
+		cover = chunks[n-1].off + int64(chunks[n-1].n)
+	}
+	// Collect the touched chunk indices: append each run's chunk range,
+	// then sort and compact. SubarrayPlan emits runs in ascending source
+	// order, so the sort is usually a no-op pass over an already-ordered
+	// slice (cheaper than a map for the stencil-sized run counts here).
+	idx := make([]int, 0, len(runs)+4)
+	// needed tracks, per touched chunk, the union byte range the runs
+	// cover within it, so compressed chunks decode only the blocks that
+	// range overlaps (a stencil-sized run list touches a sliver of each
+	// chunk, not its full logical span).
+	var needed map[int][2]int
+	if compressed {
+		needed = make(map[int][2]int, len(runs)+4)
+	}
+	for _, r := range runs {
+		if int64(r.SrcOff+r.Len) > cover {
+			// The directory covers fewer bytes than the ref declares.
+			return nil, fmt.Errorf("%w: chunk %d of %d", ErrBadRef, len(chunks), len(chunks))
+		}
+		c := findChunk(chunks, int64(r.SrcOff))
+		if c < 0 {
+			c = 0
+		}
+		for ; c < len(chunks) && chunks[c].off < int64(r.SrcOff+r.Len); c++ {
 			idx = append(idx, c)
+			if compressed {
+				ci := chunks[c]
+				lo := int(int64(r.SrcOff) - ci.off)
+				if lo < 0 {
+					lo = 0
+				}
+				hi := int(int64(r.SrcOff+r.Len) - ci.off)
+				if hi > ci.n {
+					hi = ci.n
+				}
+				if rng, ok := needed[c]; ok {
+					if rng[0] < lo {
+						lo = rng[0]
+					}
+					if rng[1] > hi {
+						hi = rng[1]
+					}
+				}
+				needed[c] = [2]int{lo, hi}
+			}
 		}
 	}
 	sort.Ints(idx)
@@ -185,35 +276,62 @@ func (s *Store) ReadRunsPinned(ref Ref, runs []Run) (*RunsView, error) {
 			rv.chunkIdx = append(rv.chunkIdx, c)
 		}
 	}
-	ids, err := s.chunkIDs(ref)
-	if err != nil {
-		return nil, err
+	var scr *codecScratch
+	if compressed {
+		scr = scratchPool.Get().(*codecScratch)
+		defer scratchPool.Put(scr)
 	}
 	rv.frames = make([]*pages.Frame, 0, len(rv.chunkIdx))
 	rv.bodies = make([][]byte, 0, len(rv.chunkIdx))
 	for _, c := range rv.chunkIdx {
-		if c >= len(ids) {
-			rv.Release()
-			return nil, fmt.Errorf("%w: chunk %d of %d", ErrBadRef, c, len(ids))
+		lo, hi := 0, chunks[c].n
+		if compressed {
+			rng := needed[c]
+			lo, hi = rng[0], rng[1]
 		}
-		f, err := s.bp.Fetch(ids[c])
+		body, f, err := s.loadRunChunkBody(chunks[c], compressed, scr, lo, hi)
 		if err != nil {
 			rv.Release()
 			return nil, err
 		}
-		if f.Page.Type() != pages.TypeBlobData {
-			s.bp.Unpin(f, false)
-			rv.Release()
-			return nil, fmt.Errorf("%w: page %d is not a blob chunk", ErrBadRef, ids[c])
+		if f != nil {
+			rv.frames = append(rv.frames, f)
 		}
-		s.stats.chunkReads.Add(1)
-		rv.frames = append(rv.frames, f)
-		rv.bodies = append(rv.bodies, f.Page.Body()[:f.Page.Used()])
+		rv.bodies = append(rv.bodies, body)
 	}
 	return rv, nil
 }
 
-// body returns the pinned body of absolute chunk index c.
+// loadRunChunkBody is loadChunkBody minus the load-time bytesRead
+// accounting: RunsView counts logical bytes in VisitRun (per segment
+// actually consumed), matching the seed semantics. For compressed
+// chunks only the blocks overlapping [lo,hi) — the union range the
+// view's runs need from this chunk — are decoded; the rest of the
+// buffer stays zero and is never visited.
+func (s *Store) loadRunChunkBody(ci chunkInfo, compressed bool, scr *codecScratch, lo, hi int) ([]byte, *pages.Frame, error) {
+	f, err := s.bp.Fetch(ci.id)
+	if err != nil {
+		return nil, nil, err
+	}
+	if f.Page.Type() != pages.TypeBlobData {
+		s.bp.Unpin(f, false)
+		return nil, nil, fmt.Errorf("%w: page %d is not a blob chunk", ErrBadRef, ci.id)
+	}
+	s.stats.chunkReads.Add(1)
+	if !compressed {
+		return f.Page.Body()[:f.Page.Used()], f, nil
+	}
+	s.stats.compressedBytesRead.Add(uint64(f.Page.Used()))
+	buf := make([]byte, ci.n)
+	derr := decodeChunkRange(&f.Page, buf, lo, hi, scr)
+	s.bp.Unpin(f, false)
+	if derr != nil {
+		return nil, nil, derr
+	}
+	return buf, nil, nil
+}
+
+// body returns the loaded body of absolute chunk index c.
 func (rv *RunsView) body(c int) []byte {
 	i := sort.SearchInts(rv.chunkIdx, c)
 	return rv.bodies[i]
@@ -222,23 +340,23 @@ func (rv *RunsView) body(c int) []byte {
 // NumRuns returns the run count.
 func (rv *RunsView) NumRuns() int { return len(rv.runs) }
 
-// PinnedChunks returns how many distinct chunk pages the view pins.
-func (rv *RunsView) PinnedChunks() int { return len(rv.frames) }
+// PinnedChunks returns how many distinct chunk pages the view loaded
+// (for raw blobs these are held pinned; compressed chunks were decoded
+// and unpinned at load).
+func (rv *RunsView) PinnedChunks() int { return len(rv.bodies) }
 
-// VisitRun invokes fn for each page-resident segment of run i in source
-// order. dstOff is the segment's absolute destination offset (the run's
-// DstOff plus the progress within the run); seg aliases the pinned page
-// body and is valid until Release. A run contained in one chunk — the
-// common case for stencil reads — is visited exactly once.
+// VisitRun invokes fn for each chunk-resident segment of run i in
+// source order. dstOff is the segment's absolute destination offset
+// (the run's DstOff plus the progress within the run); seg aliases the
+// chunk body and is valid until Release. A run contained in one chunk —
+// the common case for stencil reads — is visited exactly once.
 func (rv *RunsView) VisitRun(i int, fn func(dstOff int, seg []byte)) {
 	r := rv.runs[i]
 	read := 0
-	for c := r.SrcOff / ChunkSize; read < r.Len; c++ {
+	for c := findChunk(rv.chunks, int64(r.SrcOff)); read < r.Len; c++ {
+		ci := rv.chunks[c]
 		body := rv.body(c)
-		lo := 0
-		if c == r.SrcOff/ChunkSize {
-			lo = r.SrcOff % ChunkSize
-		}
+		lo := int(int64(r.SrcOff+read) - ci.off)
 		seg := body[lo:]
 		if rem := r.Len - read; len(seg) > rem {
 			seg = seg[:rem]
@@ -250,7 +368,7 @@ func (rv *RunsView) VisitRun(i int, fn func(dstOff int, seg []byte)) {
 }
 
 // CopyTo scatters every run into dst, equivalent to ReadRuns but from
-// the already-pinned bodies.
+// the already-loaded bodies.
 func (rv *RunsView) CopyTo(dst []byte) {
 	for i := range rv.runs {
 		rv.VisitRun(i, func(dstOff int, seg []byte) {

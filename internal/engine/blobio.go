@@ -39,6 +39,39 @@ func (p *BlobPins) Release() {
 
 func (p *BlobPins) add(v *blob.View) { p.views = append(p.views, v) }
 
+// codecForBlob sniffs a serialized value's array header and picks the
+// write-time codec: float64-family elements get the XOR-delta codec
+// (Gorilla-style, exploits slowly varying scientific floats), every
+// other fixed-width element gets byte-shuffled LZ at its element width,
+// and bytes that do not decode as an array fall back to plain LZ. The
+// choice is recorded in the chunk headers, so readers never re-sniff.
+func codecForBlob(b []byte) blob.Codec {
+	if h, hs, err := core.DecodeHeader(b); err == nil {
+		switch h.Elem {
+		case core.Float64, core.Complex128:
+			// The serialized header precedes the elements, so the word
+			// grid is offset by the header size within the blob stream;
+			// the phase realigns the XOR deltas with element boundaries.
+			return blob.Codec{Kind: blob.CodecXOR, Width: 8, Phase: hs % 8}
+		default:
+			if w := h.Elem.Size(); w > 0 {
+				return blob.Codec{Kind: blob.CodecLZ, Width: w}
+			}
+		}
+	}
+	return blob.Codec{Kind: blob.CodecLZ, Width: 1}
+}
+
+// writeBlob stores a MAX value through the blob store — compressed per
+// element type unless the database was opened with
+// DisableBlobCompression. Reads are format-agnostic either way.
+func (db *DB) writeBlob(b []byte) (blob.Ref, error) {
+	if !db.compress {
+		return db.blobs.Write(b)
+	}
+	return db.blobs.WriteCompressed(b, codecForBlob(b))
+}
+
 // resolvePinFraction bounds how much of the buffer pool one BlobPins
 // set may hold pinned through zero-copy resolves: once a set holds
 // capacity/resolvePinFraction frames, further resolves fall back to the

@@ -26,6 +26,7 @@ type DB struct {
 
 	wal          *wal.Log
 	syncOnCommit bool
+	compress     bool // compress new blobs (per-element-type codec)
 }
 
 // Options configures a database.
@@ -45,6 +46,12 @@ type Options struct {
 	// lose recent statements (never corrupt the database); Checkpoint
 	// and explicit SyncWAL still harden everything up to their point.
 	NoSyncOnCommit bool
+	// DisableBlobCompression stores every blob in the raw chunk format.
+	// By default new MAX-column blobs are compressed per element type
+	// (float64 XOR-delta, byte-shuffled LZ for other fixed-width
+	// elements); existing blobs read back either way regardless of this
+	// setting. Tests that assert exact raw-chunk page counts set it.
+	DisableBlobCompression bool
 }
 
 // Open creates a database over opts, running crash recovery first when
@@ -67,6 +74,7 @@ func Open(opts Options) (*DB, error) {
 		funcs:        NewFuncRegistry(),
 		wal:          opts.WAL,
 		syncOnCommit: !opts.NoSyncOnCommit,
+		compress:     !opts.DisableBlobCompression,
 	}
 	if db.wal != nil {
 		if err := db.recover(); err != nil {

@@ -78,6 +78,17 @@ func (db *DB) recover() error {
 			id := pages.PageID(binary.LittleEndian.Uint32(payload))
 			img := append([]byte(nil), payload[4:]...)
 			pending = append(pending, pageImg{id: id, img: img})
+		case wal.RecPagePrefix:
+			// Truncated after-image (blob/free pages): header + used body
+			// bytes; the writer zeroed the tail before checksumming, so
+			// zero-extension reconstructs the page byte-exactly.
+			if len(payload) < 4+pages.HeaderSize || len(payload) > 4+pages.PageSize {
+				return fmt.Errorf("page prefix record at LSN %d has %d bytes", lsn, len(payload))
+			}
+			id := pages.PageID(binary.LittleEndian.Uint32(payload))
+			img := make([]byte, pages.PageSize)
+			copy(img, payload[4:])
+			pending = append(pending, pageImg{id: id, img: img})
 		case wal.RecCommit:
 			var delta walCatalog
 			if err := json.Unmarshal(payload, &delta); err != nil {

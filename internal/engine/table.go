@@ -90,7 +90,7 @@ func (t *Table) InsertTx(tx *Tx, vals []Value) error {
 			stored = append([]Value(nil), vals...)
 			copied = true
 		}
-		ref, err := t.db.blobs.Write(vals[i].B)
+		ref, err := t.db.writeBlob(vals[i].B)
 		if err != nil {
 			return fmt.Errorf("engine: writing MAX column %q: %w", c.Name, err)
 		}
@@ -175,7 +175,7 @@ func (t *Table) UpdateTx(tx *Tx, key int64, cols []int, vals []Value) error {
 			next[c] = Null
 			continue
 		}
-		ref, err := t.db.blobs.Write(v.B)
+		ref, err := t.db.writeBlob(v.B)
 		if err != nil {
 			return fmt.Errorf("engine: writing MAX column %q: %w", t.schema.Columns[c].Name, err)
 		}

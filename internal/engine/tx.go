@@ -116,9 +116,30 @@ func (tx *Tx) Commit() error {
 	var firstErr error
 	for _, f := range frames {
 		err := tx.db.bp.LogDirtyFrame(f, func(p *pages.Page) (uint64, error) {
+			// Blob and free-list pages get truncated after-images: their
+			// meaningful bytes end at Used() (compressed chunks in
+			// particular use a fraction of the 8 kB body), so logging
+			// header+used shrinks the log. Recovery zero-extends, which
+			// is byte-exact only if the tail really is zero — clear it
+			// BEFORE stamping the LSN and checksum so the reconstructed
+			// page checksums identically.
+			prefix := false
+			switch p.Type() {
+			case pages.TypeBlobData, pages.TypeBlobTree, pages.TypeFree:
+				prefix = true
+				clear(p.Body()[p.Used():])
+			}
 			lsn := uint64(l.NextLSN())
 			p.SetLSN(lsn)
 			p.UpdateChecksum()
+			if prefix {
+				n := pages.HeaderSize + p.Used()
+				payload := make([]byte, 4+n)
+				binary.LittleEndian.PutUint32(payload, uint32(p.ID))
+				copy(payload[4:], p.Buf[:n])
+				got, err := l.Append(wal.RecPagePrefix, payload)
+				return uint64(got), err
+			}
 			payload := make([]byte, 4+pages.PageSize)
 			binary.LittleEndian.PutUint32(payload, uint32(p.ID))
 			copy(payload[4:], p.Buf[:])

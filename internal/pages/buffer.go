@@ -18,6 +18,14 @@ type Stats struct {
 	Writes        uint64
 	BytesWritten  uint64
 	Evictions     uint64
+	// Scan-resistance (SLRU) counters. Admissions counts first-touch
+	// pages entering the probationary segment; Promotions counts
+	// probationary pages re-referenced into the protected segment;
+	// ScanEvictions counts evictions taken from probation — one-touch
+	// pages (a scan's wake) leaving without ever displacing hot pages.
+	Admissions    uint64
+	Promotions    uint64
+	ScanEvictions uint64
 }
 
 // counters is the live, lock-free form of Stats. Every counter is an
@@ -30,6 +38,9 @@ type counters struct {
 	writes        atomic.Uint64
 	bytesWritten  atomic.Uint64
 	evictions     atomic.Uint64
+	admissions    atomic.Uint64
+	promotions    atomic.Uint64
+	scanEvictions atomic.Uint64
 }
 
 func (c *counters) snapshot() Stats {
@@ -40,6 +51,9 @@ func (c *counters) snapshot() Stats {
 		Writes:        c.writes.Load(),
 		BytesWritten:  c.bytesWritten.Load(),
 		Evictions:     c.evictions.Load(),
+		Admissions:    c.admissions.Load(),
+		Promotions:    c.promotions.Load(),
+		ScanEvictions: c.scanEvictions.Load(),
 	}
 }
 
@@ -50,6 +64,9 @@ func (c *counters) reset() {
 	c.writes.Store(0)
 	c.bytesWritten.Store(0)
 	c.evictions.Store(0)
+	c.admissions.Store(0)
+	c.promotions.Store(0)
+	c.scanEvictions.Store(0)
 }
 
 // Frame is a pinned page in the buffer pool. Callers must Unpin every
@@ -62,7 +79,8 @@ type Frame struct {
 	Page  Page
 	pins  atomic.Int32
 	dirty bool          // guarded by shard.mu
-	lru   *list.Element // guarded by shard.mu
+	lru   *list.Element // guarded by shard.mu; element of the tier's list
+	tier  int8          // SLRU segment (probation/protected); guarded by shard.mu
 	shard *shard        // owning shard; frames never migrate
 	// pageLSN is the WAL LSN of the record holding the frame's latest
 	// logged image. The flush gate compares it against the log's durable
@@ -117,17 +135,52 @@ func (c *Capture) Frames() []*Frame {
 	return append([]*Frame(nil), c.frames...)
 }
 
-// shard is one lock stripe of the pool: an independent page table, LRU
-// list and recycled-frame free list guarded by a single mutex. Pages are
-// assigned to shards by a multiplicative hash of their PageID, so two
-// scans touching different pages contend only when their pages hash to
-// the same stripe.
+// Frame SLRU tiers. First-touch frames enter probation; a re-reference
+// promotes to protected. Eviction prefers probation, so a one-shot scan
+// churns its own tier instead of flushing the hot set.
+const (
+	tierProbation int8 = iota
+	tierProtected
+)
+
+// shard is one lock stripe of the pool: an independent page table,
+// segmented LRU (probationary + protected lists) and recycled-frame
+// free list guarded by a single mutex. Pages are assigned to shards by
+// a multiplicative hash of their PageID, so two scans touching
+// different pages contend only when their pages hash to the same
+// stripe.
 type shard struct {
-	mu    sync.Mutex
-	cap   int
-	table map[PageID]*Frame
-	lru   *list.List // front = most recently used; holds unpinned frames
-	free  []*Frame   // recycled frames (DropCleanBuffers feeds this)
+	mu      sync.Mutex
+	cap     int
+	protCap int // max unpinned frames the protected segment may hold
+	table   map[PageID]*Frame
+	prob    *list.List // probationary segment; front = most recently used
+	prot    *list.List // protected segment; front = most recently used
+	free    []*Frame   // recycled frames (DropCleanBuffers feeds this)
+}
+
+// listFor returns the LRU list a frame's tier assigns it to. Caller
+// holds s.mu. container/list requires Remove on the owning list, so
+// every unhook must go through this.
+func (s *shard) listFor(f *Frame) *list.List {
+	if f.tier == tierProtected {
+		return s.prot
+	}
+	return s.prob
+}
+
+// enforceProtCapLocked demotes protected-tail frames into probation's
+// MRU end until the protected segment fits its cap, preserving the
+// SLRU invariant that the protected segment cannot monopolize the
+// stripe. Caller holds s.mu.
+func (s *shard) enforceProtCapLocked() {
+	for s.prot.Len() > s.protCap {
+		el := s.prot.Back()
+		f := el.Value.(*Frame)
+		s.prot.Remove(el)
+		f.tier = tierProbation
+		f.lru = s.prob.PushFront(f)
+	}
 }
 
 // BufferPool caches pages over a DiskManager with LRU replacement.
@@ -142,6 +195,7 @@ type BufferPool struct {
 	shift   uint // 32 - log2(len(shards)); hash top bits pick the shard
 	stats   counters
 	verify  atomic.Bool // verify checksums on physical read
+	slru    atomic.Bool // scan-resistant segmented LRU (off = plain LRU)
 	wal     WAL         // flush gate; nil = no durability protocol
 	capture atomic.Pointer[Capture]
 }
@@ -202,6 +256,7 @@ func NewBufferPoolShards(disk DiskManager, capacity, nShards int) *BufferPool {
 		shift:  uint(32 - log2),
 	}
 	bp.verify.Store(true)
+	bp.slru.Store(true)
 	base, rem := capacity/nShards, capacity%nShards
 	for i := range bp.shards {
 		c := base
@@ -209,13 +264,24 @@ func NewBufferPoolShards(disk DiskManager, capacity, nShards int) *BufferPool {
 			c++
 		}
 		bp.shards[i] = &shard{
-			cap:   c,
-			table: make(map[PageID]*Frame, c),
-			lru:   list.New(),
+			cap:     c,
+			protCap: c * 3 / 4,
+			table:   make(map[PageID]*Frame, c),
+			prob:    list.New(),
+			prot:    list.New(),
 		}
 	}
 	return bp
 }
+
+// SetScanResistant toggles the segmented (probation/protected) LRU.
+// When off, promotion stops and every frame lives in the probationary
+// list — exactly the classic single-list LRU the seed pool had; the
+// eviction benchmark uses this as its collapse baseline.
+func (bp *BufferPool) SetScanResistant(v bool) { bp.slru.Store(v) }
+
+// ScanResistant reports whether segmented LRU replacement is active.
+func (bp *BufferPool) ScanResistant() bool { return bp.slru.Load() }
 
 // shardFor maps a page id onto its stripe. Fibonacci hashing spreads
 // both sequential ids (B-tree leaf chains) and strided ones evenly.
@@ -295,8 +361,15 @@ func (bp *BufferPool) Fetch(id PageID) (*Frame, error) {
 	s.mu.Lock()
 	if f, ok := s.table[id]; ok {
 		if f.lru != nil {
-			s.lru.Remove(f.lru)
+			s.listFor(f).Remove(f.lru)
 			f.lru = nil
+		}
+		// Re-reference: promote a probationary frame into the protected
+		// segment (the SLRU admission rule — one touch is not enough to
+		// displace the hot set, two are).
+		if f.tier == tierProbation && bp.slru.Load() {
+			f.tier = tierProtected
+			bp.stats.promotions.Add(1)
 		}
 		f.pins.Add(1)
 		s.mu.Unlock()
@@ -325,7 +398,9 @@ func (bp *BufferPool) Fetch(id PageID) (*Frame, error) {
 	f.pins.Store(1)
 	f.dirty = false
 	f.unlogged = false
+	f.tier = tierProbation
 	f.pageLSN.Store(f.Page.LSN())
+	bp.stats.admissions.Add(1)
 	s.table[id] = f
 	s.mu.Unlock()
 	return f, nil
@@ -350,7 +425,9 @@ func (bp *BufferPool) NewPage(t PageType) (*Frame, error) {
 	f.pins.Store(1)
 	f.dirty = true
 	f.unlogged = false
+	f.tier = tierProbation
 	f.pageLSN.Store(0)
+	bp.stats.admissions.Add(1)
 	if c := bp.capture.Load(); c != nil {
 		f.unlogged = true
 		c.add(f)
@@ -363,10 +440,14 @@ func (bp *BufferPool) NewPage(t PageType) (*Frame, error) {
 // evictable unpinned page if the stripe is full. The returned frame is
 // not yet in the table. Caller holds s.mu.
 //
+// Eviction order is probation tail first (one-touch pages — a scan's
+// own wake), then the protected tail — so a whole-blob scan recycles
+// its own probationary frames and the re-referenced hot set survives.
+//
 // With a WAL attached, a dirty frame is evictable only when its latest
 // logged image is durable (pageLSN < DurableLSN) — the WAL-before-flush
 // invariant — and a frame dirtied by the active uncommitted session
-// (unlogged) is never evictable. The scan walks from the LRU tail
+// (unlogged) is never evictable. Each scan walks from the list tail
 // toward warmer frames until it finds an evictable victim.
 func (s *shard) victimLocked(bp *BufferPool) (*Frame, error) {
 	if len(s.table) < s.cap {
@@ -377,25 +458,30 @@ func (s *shard) victimLocked(bp *BufferPool) (*Frame, error) {
 		}
 		return &Frame{shard: s}, nil
 	}
-	for el := s.lru.Back(); el != nil; el = el.Prev() {
-		f := el.Value.(*Frame)
-		if f.dirty && !bp.flushableLocked(f) {
-			continue
-		}
-		// Flush a dirty victim BEFORE unhooking it: if the write-back
-		// fails, the frame stays cached (table + LRU) so the modified
-		// page is not lost — the caller sees the error and the data
-		// survives for a retry.
-		if f.dirty {
-			if err := bp.writeFrameLocked(f); err != nil {
-				return nil, err
+	for _, l := range [2]*list.List{s.prob, s.prot} {
+		for el := l.Back(); el != nil; el = el.Prev() {
+			f := el.Value.(*Frame)
+			if f.dirty && !bp.flushableLocked(f) {
+				continue
 			}
+			// Flush a dirty victim BEFORE unhooking it: if the write-back
+			// fails, the frame stays cached (table + LRU) so the modified
+			// page is not lost — the caller sees the error and the data
+			// survives for a retry.
+			if f.dirty {
+				if err := bp.writeFrameLocked(f); err != nil {
+					return nil, err
+				}
+			}
+			l.Remove(el)
+			f.lru = nil
+			delete(s.table, f.Page.ID)
+			bp.stats.evictions.Add(1)
+			if l == s.prob {
+				bp.stats.scanEvictions.Add(1)
+			}
+			return f, nil
 		}
-		s.lru.Remove(el)
-		f.lru = nil
-		delete(s.table, f.Page.ID)
-		bp.stats.evictions.Add(1)
-		return f, nil
 	}
 	return nil, fmt.Errorf("pages: buffer pool exhausted: all %d frames of the stripe pinned or awaiting WAL durability (pool capacity %d over %d shards)",
 		s.cap, bp.cap, len(bp.shards))
@@ -450,7 +536,15 @@ func (bp *BufferPool) Unpin(f *Frame, dirty bool) {
 		f.pins.Add(-1)
 	}
 	if f.pins.Load() == 0 && f.lru == nil {
-		f.lru = s.lru.PushFront(f)
+		if !bp.slru.Load() {
+			// Plain-LRU mode: collapse everything back into the single
+			// probationary list so the toggle degrades cleanly.
+			f.tier = tierProbation
+		}
+		f.lru = s.listFor(f).PushFront(f)
+		if f.tier == tierProtected {
+			s.enforceProtCapLocked()
+		}
 	}
 	s.mu.Unlock()
 }
@@ -529,11 +623,13 @@ func (bp *BufferPool) DropCleanBuffers() error {
 			f.lru = nil
 			f.dirty = false
 			f.unlogged = false
+			f.tier = tierProbation
 			f.pageLSN.Store(0)
 			s.free = append(s.free, f)
 		}
 		s.table = make(map[PageID]*Frame, s.cap)
-		s.lru.Init()
+		s.prob.Init()
+		s.prot.Init()
 	}
 	return nil
 }

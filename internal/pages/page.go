@@ -96,6 +96,19 @@ func (p *Page) Init(t PageType) {
 // Type returns the page type tag.
 func (p *Page) Type() PageType { return PageType(p.Buf[offType]) }
 
+// FlagCompressedBlob marks blob chunk and directory pages written in
+// the compressed block format (see internal/blob): directory entries
+// carry logical lengths and chunk bodies hold packed compressed blocks
+// instead of raw payload bytes.
+const FlagCompressedBlob uint8 = 0x01
+
+// Flags returns the per-page flag bits (zero on legacy pages — the
+// byte was reserved and always cleared by Init).
+func (p *Page) Flags() uint8 { return p.Buf[offFlags] }
+
+// SetFlags stores the per-page flag bits.
+func (p *Page) SetFlags(f uint8) { p.Buf[offFlags] = f }
+
 // NumSlots returns the number of slot-directory entries (including dead
 // slots left by deletions).
 func (p *Page) NumSlots() int {

@@ -1,0 +1,64 @@
+package pages
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestThrottledDiskPacesTransfers checks the bandwidth model: n page
+// reads through a throttled disk must take at least n*PageSize/rate,
+// including when issued concurrently (the channel is serial), while a
+// non-positive rate passes through unthrottled.
+func TestThrottledDiskPacesTransfers(t *testing.T) {
+	inner := NewMemDisk()
+	id, err := inner.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 MB/s => 8 kB page = ~0.5 ms per transfer.
+	d := NewThrottledDisk(inner, 16<<20)
+	buf := make([]byte, PageSize)
+	const n = 20
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := d.ReadPage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The throttle batches sub-millisecond sleeps, so up to ~1 ms of
+	// transfer debt can remain unslept at the end; require 80% of the
+	// nominal floor rather than the exact figure.
+	min := time.Duration(n) * time.Duration(int64(PageSize)*int64(time.Second)/(16<<20)) * 8 / 10
+	if got := time.Since(start); got < min {
+		t.Errorf("%d serial reads took %v, want >= %v", n, got, min)
+	}
+
+	start = time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b := make([]byte, PageSize)
+			if err := d.WritePage(id, b); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := time.Since(start); got < min {
+		t.Errorf("%d concurrent writes took %v, want >= %v (serial channel)", n, got, min)
+	}
+
+	un := NewThrottledDisk(inner, 0)
+	if err := un.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := un.NumPages(), inner.NumPages(); got != want {
+		t.Errorf("NumPages = %d, want %d", got, want)
+	}
+	if err := un.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

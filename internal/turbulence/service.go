@@ -218,13 +218,15 @@ func (s *Store) cubeCode(cx, cy, cz int) (uint64, error) {
 
 // readStencil performs the partial-read path: only the byte runs of the
 // np³×3 stencil sub-array are fetched from the out-of-page blob, and
-// the float64 samples are decoded straight off the pinned chunk pages —
-// no intermediate byte buffer, no copy. The zero-copy decode requires
-// every element to sit inside one chunk page, which holds exactly when
-// the header size and the chunk payload size are both 8-byte aligned
-// (the rank-4 max header is 32 bytes and ChunkSize is 8096, so this is
-// always true here); the copying path remains as the fallback should
-// either alignment ever change.
+// the float64 samples are decoded straight off the chunk bodies (pinned
+// pages for raw blobs, decoded buffers for compressed ones) — no
+// intermediate byte buffer, no copy. The direct decode requires every
+// element to sit inside one chunk, which holds exactly when the header
+// size and both chunk granularities are 8-byte aligned: raw chunks
+// break at ChunkSize (8096) multiples and compressed chunks start on
+// BlockSize (8064) multiples, so with a 32-byte rank-4 max header no
+// float64 ever straddles a VisitRun segment boundary. The copying path
+// remains as the fallback should any alignment ever change.
 func (s *Store) readStencil(step, cx, cy, cz, sx, sy, sz, np int) ([]float64, error) {
 	ref, err := s.fetchRef(step, cx, cy, cz)
 	if err != nil {
@@ -244,7 +246,7 @@ func (s *Store) readStencil(step, cx, cy, cz, sx, sy, sz, np int) ([]float64, er
 		dstBytes += r.Len
 	}
 	out := make([]float64, dstBytes/8)
-	if hdr%8 == 0 && blob.ChunkSize%8 == 0 {
+	if hdr%8 == 0 && blob.ChunkSize%8 == 0 && blob.BlockSize%8 == 0 {
 		rv, err := s.db.Blobs().ReadRunsPinned(ref, blobRuns)
 		if err != nil {
 			return nil, err

@@ -47,6 +47,14 @@ const (
 	// snapshot, and every earlier record is already reflected in the
 	// database file.
 	RecCheckpoint RecordType = 3
+	// RecPagePrefix is a truncated page after-image: payload is a 4-byte
+	// little-endian page id followed by only the page's header plus used
+	// body bytes. The writer guarantees the omitted tail is zero, so
+	// recovery reconstructs the full page by zero-extending — byte-exact,
+	// checksum included. Used for blob pages, where compressed chunks
+	// leave most of the 8 kB body empty and full images would bloat the
+	// log.
+	RecPagePrefix RecordType = 4
 )
 
 const (

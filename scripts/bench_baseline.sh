@@ -13,10 +13,14 @@ run_bench() {
 
 {
 	run_bench 'BenchmarkWALAppend|BenchmarkWALGroupCommit' ./internal/wal
-	run_bench 'BenchmarkBufferPoolContention' ./internal/pages
+	run_bench 'BenchmarkBufferPoolContention|BenchmarkScanResistantEviction' ./internal/pages
 	run_bench 'BenchmarkParallelAggregate' ./internal/sqlmini
-	run_bench 'BenchmarkReadAll1MB|BenchmarkPartialRead4kOf1MB|BenchmarkReadRunsStencil|BenchmarkReadRunsPinnedStencil' ./internal/blob
+	run_bench 'BenchmarkReadAll1MB|BenchmarkPartialRead4kOf1MB|BenchmarkReadRunsStencil|BenchmarkReadRunsPinnedStencil|BenchmarkCodec' ./internal/blob
 	run_bench 'BenchmarkSubarrayPartialVsWholeBlob' . 1x
+	# The codec ratio table prints parseable "ratio-table:" lines with the
+	# compression ratio and encode/decode throughput per codec/data shape.
+	go test -run TestCompressionRatioTable -v ./internal/blob 2>/dev/null |
+		grep -E 'ratio-table:' || true
 } | awk -v gover="$(go version | awk '{print $3}')" -v date="$(date -u +%Y-%m-%d)" '
 BEGIN {
 	printf "{\n  \"meta\": {\n"
@@ -25,10 +29,29 @@ BEGIN {
 	printf "    \"note\": \"short -benchtime runs; a reference point for trend comparison, not a gate\"\n"
 	printf "  },\n  \"benchmarks\": [\n"
 	n = 0
+	r = 0
 }
 /^Benchmark/ {
 	if (n++) printf ",\n"
 	printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", $1, $2, $3
 }
-END { printf "\n  ]\n}\n" }
+/ratio-table:/ {
+	# "ratio-table: name=lz/int64-seq ratio=25.31 enc_mbps=410 dec_mbps=1190"
+	name = ""; ratio = ""; enc = ""; dec = ""
+	for (i = 1; i <= NF; i++) {
+		if (split($i, kv, "=") == 2) {
+			if (kv[1] == "name") name = kv[2]
+			else if (kv[1] == "ratio") ratio = kv[2]
+			else if (kv[1] == "enc_mbps") enc = kv[2]
+			else if (kv[1] == "dec_mbps") dec = kv[2]
+		}
+	}
+	if (name != "")
+		rows[r++] = sprintf("    {\"name\": \"%s\", \"ratio\": %s, \"enc_mbps\": %s, \"dec_mbps\": %s}", name, ratio, enc, dec)
+}
+END {
+	printf "\n  ],\n  \"compression_ratios\": [\n"
+	for (i = 0; i < r; i++) printf "%s%s\n", rows[i], (i < r - 1 ? "," : "")
+	printf "  ]\n}\n"
+}
 '
