@@ -34,7 +34,7 @@ lint:
 bench:
 	go test -run='^$$' -bench='BenchmarkWALAppend|BenchmarkWALGroupCommit' -benchtime=300ms ./internal/wal
 	go test -run='^$$' -bench='BenchmarkBufferPoolContention' -benchtime=300ms ./internal/pages
-	go test -run='^$$' -bench='BenchmarkParallelAggregate' -benchtime=300ms ./internal/sqlmini
+	go test -run='^$$' -bench='BenchmarkParallelAggregate|BenchmarkMixedScanDML' -benchtime=300ms ./internal/sqlmini
 	go test -run='^$$' -bench='BenchmarkReadAll1MB|BenchmarkPartialRead4kOf1MB|BenchmarkReadRunsStencil|BenchmarkReadRunsPinnedStencil' -benchtime=300ms ./internal/blob
 
 # Regenerate the checked-in benchmark reference point. Run on a quiet

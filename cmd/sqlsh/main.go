@@ -112,6 +112,7 @@ func isSelect(line string) bool {
 type queryStats struct {
 	logical, physical, bytesRead          uint64
 	admissions, promotions, scanEvictions uint64
+	cowCopies, snapReads, versionsRetired uint64
 	dirReads, chunkReads, blobBytes       uint64
 	streamCalls                           uint64
 	chunksWritten                         uint64
@@ -122,36 +123,43 @@ type queryStats struct {
 
 func diffStats(p0 pages.Stats, b0 blob.Stats, w0 wal.Stats, p1 pages.Stats, b1 blob.Stats, w1 wal.Stats) queryStats {
 	return queryStats{
-		logical:        p1.LogicalReads - p0.LogicalReads,
-		physical:       p1.PhysicalReads - p0.PhysicalReads,
-		bytesRead:      p1.BytesRead - p0.BytesRead,
-		admissions:     p1.Admissions - p0.Admissions,
-		promotions:     p1.Promotions - p0.Promotions,
-		scanEvictions:  p1.ScanEvictions - p0.ScanEvictions,
-		dirReads:       b1.DirectoryReads - b0.DirectoryReads,
-		chunkReads:     b1.ChunkReads - b0.ChunkReads,
-		blobBytes:      b1.BytesRead - b0.BytesRead,
-		streamCalls:    b1.StreamCalls - b0.StreamCalls,
-		chunksWritten:  b1.ChunksWritten - b0.ChunksWritten,
-		compWritten:    b1.CompressedBytesWritten - b0.CompressedBytesWritten,
-		compRead:       b1.CompressedBytesRead - b0.CompressedBytesRead,
-		logicalWritten: b1.BytesWritten - b0.BytesWritten,
-		logicalRead:    b1.BytesRead - b0.BytesRead,
-		walRecords:     w1.Records - w0.Records,
-		walBytes:       w1.BytesLogged - w0.BytesLogged,
-		walSyncs:       w1.Syncs - w0.Syncs,
+		logical:         p1.LogicalReads - p0.LogicalReads,
+		physical:        p1.PhysicalReads - p0.PhysicalReads,
+		bytesRead:       p1.BytesRead - p0.BytesRead,
+		admissions:      p1.Admissions - p0.Admissions,
+		promotions:      p1.Promotions - p0.Promotions,
+		scanEvictions:   p1.ScanEvictions - p0.ScanEvictions,
+		cowCopies:       p1.CowCopies - p0.CowCopies,
+		snapReads:       p1.SnapshotReads - p0.SnapshotReads,
+		versionsRetired: p1.VersionsRetired - p0.VersionsRetired,
+		dirReads:        b1.DirectoryReads - b0.DirectoryReads,
+		chunkReads:      b1.ChunkReads - b0.ChunkReads,
+		blobBytes:       b1.BytesRead - b0.BytesRead,
+		streamCalls:     b1.StreamCalls - b0.StreamCalls,
+		chunksWritten:   b1.ChunksWritten - b0.ChunksWritten,
+		compWritten:     b1.CompressedBytesWritten - b0.CompressedBytesWritten,
+		compRead:        b1.CompressedBytesRead - b0.CompressedBytesRead,
+		logicalWritten:  b1.BytesWritten - b0.BytesWritten,
+		logicalRead:     b1.BytesRead - b0.BytesRead,
+		walRecords:      w1.Records - w0.Records,
+		walBytes:        w1.BytesLogged - w0.BytesLogged,
+		walSyncs:        w1.Syncs - w0.Syncs,
 	}
 }
 
 func (q queryStats) print() {
-	hit := 100.0
+	// A statement that read nothing has no meaningful hit ratio; the old
+	// "100.0%" default was a lie (and 0/0 in disguise).
+	hit := "n/a"
 	if q.logical > 0 {
-		hit = 100 * (1 - float64(q.physical)/float64(q.logical))
+		hit = fmt.Sprintf("%.1f%%", 100*(1-float64(q.physical)/float64(q.logical)))
 	}
-	fmt.Printf("buffer pool: %d logical reads, %d physical (%.1f%% hit ratio), %s from disk\n",
+	fmt.Printf("buffer pool: %d logical reads, %d physical (%s hit ratio), %s from disk\n",
 		q.logical, q.physical, hit, fmtBytes(q.bytesRead))
 	fmt.Printf("eviction:    %d admissions, %d promotions to protected, %d scan evictions\n",
 		q.admissions, q.promotions, q.scanEvictions)
+	fmt.Printf("versions:    %d copy-on-write page copies, %d snapshot version reads, %d versions retired\n",
+		q.cowCopies, q.snapReads, q.versionsRetired)
 	fmt.Printf("blob store:  %d chunk reads, %d directory reads, %s of blob data, %d stream calls, %d chunks written\n",
 		q.chunkReads, q.dirReads, fmtBytes(q.blobBytes), q.streamCalls, q.chunksWritten)
 	if q.compWritten > 0 && q.logicalWritten > 0 {

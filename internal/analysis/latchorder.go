@@ -9,7 +9,11 @@ import (
 
 // Latchorder proves the documented lock hierarchy
 //
-//	db.writeMu (0) → db.mu (1) → table.mu (2) → pool shard.mu (3) → leaves (4)
+//	db.writeMu (0) → db.mu (1) → table.metaMu (2) → pool shard.mu (3) → leaves (4)
+//
+// (Level 2 used to be the table reader-writer latch; scans now ride
+// buffer-pool snapshots, and the slot is held by the mutex guarding each
+// table's committed catalog versions.)
 //
 // A function holding a level-L latch may only acquire latches at a
 // strictly greater level. The analyzer classifies direct Lock/RLock calls
@@ -28,7 +32,7 @@ import (
 // the same function.
 var Latchorder = &Analyzer{
 	Name: "latchorder",
-	Doc:  "lock acquisitions must follow db.writeMu → db.mu → table.mu → pool stripe; DML *Tx entry points require transaction context",
+	Doc:  "lock acquisitions must follow db.writeMu → db.mu → table.metaMu → pool stripe; DML *Tx entry points require transaction context",
 	Run:  runLatchorder,
 }
 
@@ -39,7 +43,7 @@ var latchLevels = []struct {
 }{
 	{"engine", "DB", "writeMu", 0},
 	{"engine", "DB", "mu", 1},
-	{"engine", "Table", "mu", 2},
+	{"engine", "Table", "metaMu", 2},
 	{"pages", "shard", "mu", 3},
 	{"pages", "Capture", "mu", 4},
 	{"wal", "Log", "mu", 4},
@@ -48,7 +52,7 @@ var latchLevels = []struct {
 var latchNames = map[int]string{
 	0: "db.writeMu",
 	1: "db.mu",
-	2: "table.mu",
+	2: "table.metaMu",
 	3: "pool shard.mu",
 	4: "leaf mutex (wal/capture)",
 }
@@ -69,7 +73,9 @@ var externalAcquires = []struct {
 	{"blob", "RunsView", []int{3}},
 	{"blob", "Stream", []int{3}},
 	{"engine", "Table", []int{2, 3}},
+	{"engine", "Snapshot", []int{2, 3}},
 	{"engine", "Cursor", []int{3}},
+	{"pages", "Snapshot", []int{3}},
 	{"wal", "Log", []int{4}},
 }
 
@@ -260,7 +266,7 @@ func walkLatches(p *Pass, fd *ast.FuncDecl, summaries map[*types.Func]levelSet) 
 		}
 		if op, ok := classifyLockCall(info, call); ok {
 			if op.acquire && op.level <= maxHeld {
-				p.Reportf(call.Pos(), "acquiring %s while holding %s violates the latch order (writeMu → db.mu → table.mu → pool stripe)",
+				p.Reportf(call.Pos(), "acquiring %s while holding %s violates the latch order (writeMu → db.mu → table.metaMu → pool stripe)",
 					latchNames[op.level], latchNames[maxHeld])
 			}
 			return

@@ -1,5 +1,7 @@
 // Package engine mocks the engine's lock hierarchy: DB.writeMu (0) →
-// DB.mu (1) → Table.mu (2) → pool stripe (3).
+// DB.mu (1) → Table.metaMu (2) → pool stripe (3). Level 2 was the
+// table reader latch before snapshot reads replaced it; the slot now
+// belongs to the catalog-version mutex.
 package engine
 
 import (
@@ -29,13 +31,13 @@ func (tx *Tx) Close() error {
 }
 
 type Table struct {
-	mu sync.RWMutex
-	bp *pages.BufferPool
+	metaMu sync.Mutex
+	bp     *pages.BufferPool
 }
 
 func (t *Table) InsertTx(tx *Tx, v int) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.metaMu.Lock()
+	defer t.metaMu.Unlock()
 	return nil
 }
 
@@ -43,18 +45,18 @@ func (t *Table) InsertTx(tx *Tx, v int) error {
 func goodOrder(db *DB, t *Table) {
 	db.writeMu.Lock()
 	db.mu.RLock()
-	t.mu.Lock()
-	t.mu.Unlock()
+	t.metaMu.Lock()
+	t.metaMu.Unlock()
 	db.mu.RUnlock()
 	db.writeMu.Unlock()
 }
 
-// bad: catalog lock taken above a table latch.
+// bad: catalog lock taken above the table's version mutex.
 func badOrder(db *DB, t *Table) {
-	t.mu.Lock()
-	db.mu.RLock() // want `acquiring db\.mu while holding table\.mu violates the latch order`
+	t.metaMu.Lock()
+	db.mu.RLock() // want `acquiring db\.mu while holding table\.metaMu violates the latch order`
 	db.mu.RUnlock()
-	t.mu.Unlock()
+	t.metaMu.Unlock()
 }
 
 func lockCatalog(db *DB) {
@@ -64,16 +66,16 @@ func lockCatalog(db *DB) {
 
 // bad: the same inversion hidden behind an intra-package call.
 func badTransitive(db *DB, t *Table) {
-	t.mu.Lock()
-	lockCatalog(db) // want `call may acquire db\.mu while table\.mu is held`
-	t.mu.Unlock()
+	t.metaMu.Lock()
+	lockCatalog(db) // want `call may acquire db\.mu while table\.metaMu is held`
+	t.metaMu.Unlock()
 }
 
-// good: holding the table latch while descending into the pool is the
+// good: holding the version mutex while descending into the pool is the
 // documented order (level 2 → level 3).
 func goodDescend(t *Table) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.metaMu.Lock()
+	defer t.metaMu.Unlock()
 	f, err := t.bp.Fetch(1)
 	if err != nil {
 		return err
@@ -108,8 +110,8 @@ func (tx *Tx) insertInto(t *Table) error {
 }
 
 func suppressedOrder(db *DB, t *Table) {
-	t.mu.Lock()
+	t.metaMu.Lock()
 	db.mu.RLock() //lint:allow latchorder deliberate inversion exercised by this fixture
 	db.mu.RUnlock()
-	t.mu.Unlock()
+	t.metaMu.Unlock()
 }

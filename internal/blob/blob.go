@@ -124,13 +124,28 @@ type counters struct {
 
 // Store reads and writes blobs over a buffer pool. It is safe for
 // concurrent use to the same degree the underlying pool is.
+//
+// Read paths resolve page fetches through fx — the pool itself on the
+// primary store, or a pages.Snapshot on stores derived with
+// WithFetcher, which pins chunk pages as of a frozen commit. Write
+// paths always go through bp and are only legal on the primary store.
 type Store struct {
 	bp    *pages.BufferPool
-	stats counters
+	fx    pages.Fetcher
+	stats *counters
 }
 
 // NewStore creates a blob store on bp.
-func NewStore(bp *pages.BufferPool) *Store { return &Store{bp: bp} }
+func NewStore(bp *pages.BufferPool) *Store {
+	return &Store{bp: bp, fx: bp, stats: &counters{}}
+}
+
+// WithFetcher returns a read-only view of the store whose page fetches
+// resolve through fx (typically a pages.Snapshot). The view shares the
+// primary store's counters; writing through it is a programming error.
+func (s *Store) WithFetcher(fx pages.Fetcher) *Store {
+	return &Store{fx: fx, stats: s.stats}
+}
 
 // Stats returns a snapshot of the store counters. Lock-free.
 func (s *Store) Stats() Stats {
@@ -203,12 +218,12 @@ func (s *Store) walkDir(ref Ref) (chunks []chunkInfo, dirIDs []pages.PageID, com
 	first := true
 	var off int64
 	for id != pages.InvalidPageID {
-		f, err := s.bp.Fetch(id)
+		f, err := s.fx.Fetch(id)
 		if err != nil {
 			return nil, nil, false, err
 		}
 		if f.Page.Type() != pages.TypeBlobTree {
-			s.bp.Unpin(f, false)
+			s.fx.Unpin(f, false)
 			return nil, nil, false, fmt.Errorf("%w: page %d is not a blob directory", ErrBadRef, id)
 		}
 		if first {
@@ -222,7 +237,7 @@ func (s *Store) walkDir(ref Ref) (chunks []chunkInfo, dirIDs []pages.PageID, com
 			for i := 0; i+8 <= used; i += 8 {
 				n := int(binary.LittleEndian.Uint32(body[i+4:]))
 				if n <= 0 || n > maxChunkLogical {
-					s.bp.Unpin(f, false)
+					s.fx.Unpin(f, false)
 					return nil, nil, false, fmt.Errorf("%w: directory entry covers %d bytes", ErrBadRef, n)
 				}
 				chunks = append(chunks, chunkInfo{
@@ -248,7 +263,7 @@ func (s *Store) walkDir(ref Ref) (chunks []chunkInfo, dirIDs []pages.PageID, com
 		}
 		dirIDs = append(dirIDs, id)
 		next := f.Page.Next()
-		s.bp.Unpin(f, false)
+		s.fx.Unpin(f, false)
 		id = next
 	}
 	if compressed && off != ref.Length {
@@ -626,11 +641,11 @@ func decodeChunkRange(p *pages.Page, dst []byte, lo, hi int, scr *codecScratch) 
 // blob. Segments are valid only during the callback: the frame is
 // unpinned before visitChunk returns.
 func (s *Store) visitChunk(ci chunkInfo, compressed bool, lo, hi int, scr *codecScratch, emit func(off int, seg []byte)) error {
-	f, err := s.bp.Fetch(ci.id)
+	f, err := s.fx.Fetch(ci.id)
 	if err != nil {
 		return err
 	}
-	defer s.bp.Unpin(f, false)
+	defer s.fx.Unpin(f, false)
 	if f.Page.Type() != pages.TypeBlobData {
 		return fmt.Errorf("%w: page %d is not a blob chunk", ErrBadRef, ci.id)
 	}

@@ -39,7 +39,7 @@ func (s *Store) freeHead() (pages.PageID, error) {
 // setFreeHead stores the free-list head, initializing the metadata page
 // on first use.
 func (s *Store) setFreeHead(id pages.PageID) error {
-	f, err := s.bp.Fetch(0)
+	f, err := s.bp.FetchForWrite(0)
 	if err != nil {
 		return err
 	}
@@ -62,7 +62,7 @@ func (s *Store) allocPage(t pages.PageType) (*pages.Frame, error) {
 	if head == pages.InvalidPageID {
 		return s.bp.NewPage(t)
 	}
-	f, err := s.bp.Fetch(head)
+	f, err := s.bp.FetchForWrite(head)
 	if err != nil {
 		return nil, err
 	}
@@ -91,7 +91,7 @@ func (s *Store) freePages(ids []pages.PageID) error {
 		return err
 	}
 	for _, id := range ids {
-		f, err := s.bp.Fetch(id)
+		f, err := s.bp.FetchForWrite(id)
 		if err != nil {
 			return err
 		}
@@ -208,7 +208,7 @@ func (s *Store) writeRunsRaw(src []byte, runs []Run, chunks []chunkInfo) error {
 				return fmt.Errorf("%w: chunk %d of %d", ErrBadRef, c, len(chunks))
 			}
 			ci := chunks[c]
-			f, err := s.bp.Fetch(ci.id)
+			f, err := s.bp.FetchForWrite(ci.id)
 			if err != nil {
 				return err
 			}
@@ -274,7 +274,7 @@ func (s *Store) writeRunsCompressed(ref Ref, src []byte, runs []Run, chunks []ch
 	replacements := make(map[int][]chunkInfo)
 	for _, c := range touched {
 		ci := chunks[c]
-		f, err := s.bp.Fetch(ci.id)
+		f, err := s.bp.FetchForWrite(ci.id)
 		if err != nil {
 			return err
 		}
@@ -370,7 +370,7 @@ func (s *Store) rewriteDirectory(dirIDs []pages.PageID, chunks []chunkInfo) erro
 		var f *pages.Frame
 		var err error
 		if di < len(dirIDs) {
-			f, err = s.bp.Fetch(dirIDs[di])
+			f, err = s.bp.FetchForWrite(dirIDs[di])
 			if err == nil && f.Page.Type() != pages.TypeBlobTree {
 				s.bp.Unpin(f, false)
 				err = fmt.Errorf("%w: page %d is not a blob directory", ErrBadRef, dirIDs[di])

@@ -91,12 +91,12 @@ func (s *Store) View(ref Ref) (*View, error) {
 // unpin before returning (frame is nil). Counts chunkReads/bytesRead
 // load-time, matching the seed View semantics.
 func (s *Store) loadChunkBody(ci chunkInfo, compressed bool, scr *codecScratch) ([]byte, *pages.Frame, error) {
-	f, err := s.bp.Fetch(ci.id)
+	f, err := s.fx.Fetch(ci.id)
 	if err != nil {
 		return nil, nil, err
 	}
 	if f.Page.Type() != pages.TypeBlobData {
-		s.bp.Unpin(f, false)
+		s.fx.Unpin(f, false)
 		return nil, nil, fmt.Errorf("%w: page %d is not a blob chunk", ErrBadRef, ci.id)
 	}
 	s.stats.chunkReads.Add(1)
@@ -108,7 +108,7 @@ func (s *Store) loadChunkBody(ci chunkInfo, compressed bool, scr *codecScratch) 
 	s.stats.compressedBytesRead.Add(uint64(used))
 	buf := make([]byte, ci.n)
 	derr := decodeWholeChunk(&f.Page, buf, scr)
-	s.bp.Unpin(f, false)
+	s.fx.Unpin(f, false)
 	if derr != nil {
 		return nil, nil, derr
 	}
@@ -171,7 +171,7 @@ func (v *View) Release() {
 	}
 	v.released = true
 	for _, f := range v.frames {
-		v.s.bp.Unpin(f, false)
+		v.s.fx.Unpin(f, false)
 	}
 	v.frames = nil
 	v.bodies = nil
@@ -309,12 +309,12 @@ func (s *Store) ReadRunsPinned(ref Ref, runs []Run) (*RunsView, error) {
 // view's runs need from this chunk — are decoded; the rest of the
 // buffer stays zero and is never visited.
 func (s *Store) loadRunChunkBody(ci chunkInfo, compressed bool, scr *codecScratch, lo, hi int) ([]byte, *pages.Frame, error) {
-	f, err := s.bp.Fetch(ci.id)
+	f, err := s.fx.Fetch(ci.id)
 	if err != nil {
 		return nil, nil, err
 	}
 	if f.Page.Type() != pages.TypeBlobData {
-		s.bp.Unpin(f, false)
+		s.fx.Unpin(f, false)
 		return nil, nil, fmt.Errorf("%w: page %d is not a blob chunk", ErrBadRef, ci.id)
 	}
 	s.stats.chunkReads.Add(1)
@@ -324,7 +324,7 @@ func (s *Store) loadRunChunkBody(ci chunkInfo, compressed bool, scr *codecScratc
 	s.stats.compressedBytesRead.Add(uint64(f.Page.Used()))
 	buf := make([]byte, ci.n)
 	derr := decodeChunkRange(&f.Page, buf, lo, hi, scr)
-	s.bp.Unpin(f, false)
+	s.fx.Unpin(f, false)
 	if derr != nil {
 		return nil, nil, derr
 	}
@@ -384,7 +384,7 @@ func (rv *RunsView) Release() {
 	}
 	rv.released = true
 	for _, f := range rv.frames {
-		rv.s.bp.Unpin(f, false)
+		rv.s.fx.Unpin(f, false)
 	}
 	rv.frames = nil
 	rv.bodies = nil

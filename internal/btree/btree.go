@@ -25,8 +25,13 @@ const MaxValueSize = pages.MaxRecordSize - 8
 
 // Tree is a clustered B+tree over a buffer pool. It is not safe for
 // concurrent mutation; the engine serializes writers per table.
+//
+// Read descents go through fx, which is the pool itself for writer
+// trees and a pages.Snapshot for frozen read views (see OpenFetch).
+// Mutations always go through bp and are only legal on writer trees.
 type Tree struct {
 	bp   *pages.BufferPool
+	fx   pages.Fetcher
 	root pages.PageID
 	// height counts levels (1 = root is a leaf).
 	height int
@@ -45,14 +50,22 @@ func New(bp *pages.BufferPool) (*Tree, error) {
 	}
 	root := f.Page.ID
 	bp.Unpin(f, true)
-	return &Tree{bp: bp, root: root, height: 1}, nil
+	return &Tree{bp: bp, fx: bp, root: root, height: 1}, nil
 }
 
 // Open attaches to an existing tree given its root page. The caller
 // supplies the persisted height and count (the engine catalog stores
 // them).
 func Open(bp *pages.BufferPool, root pages.PageID, height, count int) *Tree {
-	return &Tree{bp: bp, root: root, height: height, count: count}
+	return &Tree{bp: bp, fx: bp, root: root, height: height, count: count}
+}
+
+// OpenFetch attaches a read-only tree whose page fetches resolve
+// through fx — typically a pages.Snapshot, giving a scan a frozen view
+// of the tree as of a commit. Mutating a tree opened this way is a
+// programming error (there is no pool to allocate from).
+func OpenFetch(fx pages.Fetcher, root pages.PageID, height, count int) *Tree {
+	return &Tree{fx: fx, root: root, height: height, count: count}
 }
 
 // Root returns the current root page id (it changes on root splits).
@@ -129,25 +142,25 @@ func childFor(p *pages.Page, key int64) int {
 func (t *Tree) Get(key int64) ([]byte, error) {
 	id := t.root
 	for level := t.height; level > 1; level-- {
-		f, err := t.bp.Fetch(id)
+		f, err := t.fx.Fetch(id)
 		if err != nil {
 			return nil, err
 		}
 		slot := childFor(&f.Page, key)
 		rec, err := f.Page.Record(slot)
 		if err != nil {
-			t.bp.Unpin(f, false)
+			t.fx.Unpin(f, false)
 			return nil, fmt.Errorf("btree: corrupt internal node %d: %w", id, err)
 		}
 		_, child := decodeInternalRec(rec)
-		t.bp.Unpin(f, false)
+		t.fx.Unpin(f, false)
 		id = child
 	}
-	f, err := t.bp.Fetch(id)
+	f, err := t.fx.Fetch(id)
 	if err != nil {
 		return nil, err
 	}
-	defer t.bp.Unpin(f, false)
+	defer t.fx.Unpin(f, false)
 	slot, ok := searchSlot(&f.Page, key)
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrNotFound, key)
@@ -212,14 +225,18 @@ func (t *Tree) put(key int64, val []byte, overwrite bool) error {
 const minInt64 = -1 << 63
 
 func (t *Tree) insertInto(id pages.PageID, level int, key int64, val []byte, overwrite bool) (splitResult, error) {
-	f, err := t.bp.Fetch(id)
-	if err != nil {
-		return splitResult{}, err
-	}
 	if level == 1 {
+		f, err := t.bp.FetchForWrite(id)
+		if err != nil {
+			return splitResult{}, err
+		}
 		res, err := t.insertLeaf(f, key, val, overwrite)
 		t.bp.Unpin(f, true)
 		return res, err
+	}
+	f, err := t.bp.Fetch(id)
+	if err != nil {
+		return splitResult{}, err
 	}
 	slot := childFor(&f.Page, key)
 	rec, err := f.Page.Record(slot)
@@ -235,7 +252,7 @@ func (t *Tree) insertInto(id pages.PageID, level int, key int64, val []byte, ove
 		return splitResult{}, err
 	}
 	// Insert the new separator into this node.
-	f, err = t.bp.Fetch(id)
+	f, err = t.bp.FetchForWrite(id)
 	if err != nil {
 		return splitResult{}, err
 	}
@@ -261,7 +278,7 @@ func (t *Tree) insertInto(id pages.PageID, level int, key int64, val []byte, ove
 		targetIsRight = true
 	}
 	if targetIsRight {
-		rf, err := t.bp.Fetch(out.right)
+		rf, err := t.bp.FetchForWrite(out.right)
 		if err != nil {
 			t.bp.Unpin(f, true)
 			return splitResult{}, err
@@ -326,7 +343,7 @@ func (t *Tree) insertLeaf(f *pages.Frame, key int64, val []byte, overwrite bool)
 	}
 	// Insert into the proper half.
 	if key >= out.sepKey {
-		rf, err := t.bp.Fetch(out.right)
+		rf, err := t.bp.FetchForWrite(out.right)
 		if err != nil {
 			return splitResult{}, err
 		}
@@ -384,7 +401,7 @@ func (t *Tree) splitNode(f *pages.Frame, typ pages.PageType) (splitResult, error
 		rf.Page.SetNext(f.Page.Next())
 		rf.Page.SetPrev(f.Page.ID)
 		if nxt := f.Page.Next(); nxt != pages.InvalidPageID {
-			nf, err := t.bp.Fetch(nxt)
+			nf, err := t.bp.FetchForWrite(nxt)
 			if err != nil {
 				t.bp.Unpin(rf, true)
 				return splitResult{}, err
@@ -419,7 +436,7 @@ func (t *Tree) Delete(key int64) error {
 		t.bp.Unpin(f, false)
 		id = child
 	}
-	f, err := t.bp.Fetch(id)
+	f, err := t.bp.FetchForWrite(id)
 	if err != nil {
 		return err
 	}
@@ -445,13 +462,13 @@ func (t *Tree) LeafPageCount() (int, error) {
 	}
 	n := 0
 	for id != pages.InvalidPageID {
-		f, err := t.bp.Fetch(id)
+		f, err := t.fx.Fetch(id)
 		if err != nil {
 			return 0, err
 		}
 		n++
 		next := f.Page.Next()
-		t.bp.Unpin(f, false)
+		t.fx.Unpin(f, false)
 		id = next
 	}
 	return n, nil
@@ -461,17 +478,17 @@ func (t *Tree) LeafPageCount() (int, error) {
 func (t *Tree) leftmostLeaf() (pages.PageID, error) {
 	id := t.root
 	for level := t.height; level > 1; level-- {
-		f, err := t.bp.Fetch(id)
+		f, err := t.fx.Fetch(id)
 		if err != nil {
 			return 0, err
 		}
 		rec, err := f.Page.Record(0)
 		if err != nil {
-			t.bp.Unpin(f, false)
+			t.fx.Unpin(f, false)
 			return 0, err
 		}
 		_, child := decodeInternalRec(rec)
-		t.bp.Unpin(f, false)
+		t.fx.Unpin(f, false)
 		id = child
 	}
 	return id, nil
@@ -504,26 +521,26 @@ func (t *Tree) Bounds() (min, max int64, ok bool, err error) {
 func (t *Tree) maxKey() (int64, bool, error) {
 	id := t.root
 	for level := t.height; level > 1; level-- {
-		f, err := t.bp.Fetch(id)
+		f, err := t.fx.Fetch(id)
 		if err != nil {
 			return 0, false, err
 		}
 		n := f.Page.NumSlots()
 		if n == 0 {
-			t.bp.Unpin(f, false)
+			t.fx.Unpin(f, false)
 			return 0, false, fmt.Errorf("btree: empty internal node %d", id)
 		}
 		rec, err := f.Page.Record(n - 1)
 		if err != nil {
-			t.bp.Unpin(f, false)
+			t.fx.Unpin(f, false)
 			return 0, false, fmt.Errorf("btree: corrupt internal node %d: %w", id, err)
 		}
 		_, child := decodeInternalRec(rec)
-		t.bp.Unpin(f, false)
+		t.fx.Unpin(f, false)
 		id = child
 	}
 	for id != pages.InvalidPageID {
-		f, err := t.bp.Fetch(id)
+		f, err := t.fx.Fetch(id)
 		if err != nil {
 			return 0, false, err
 		}
@@ -533,11 +550,11 @@ func (t *Tree) maxKey() (int64, bool, error) {
 				continue // dead slot
 			}
 			key := leafKey(rec)
-			t.bp.Unpin(f, false)
+			t.fx.Unpin(f, false)
 			return key, true, nil
 		}
 		prev := f.Page.Prev()
-		t.bp.Unpin(f, false)
+		t.fx.Unpin(f, false)
 		id = prev
 	}
 	return 0, false, nil
@@ -547,18 +564,18 @@ func (t *Tree) maxKey() (int64, bool, error) {
 func (t *Tree) leafFor(key int64) (pages.PageID, error) {
 	id := t.root
 	for level := t.height; level > 1; level-- {
-		f, err := t.bp.Fetch(id)
+		f, err := t.fx.Fetch(id)
 		if err != nil {
 			return 0, err
 		}
 		slot := childFor(&f.Page, key)
 		rec, err := f.Page.Record(slot)
 		if err != nil {
-			t.bp.Unpin(f, false)
+			t.fx.Unpin(f, false)
 			return 0, err
 		}
 		_, child := decodeInternalRec(rec)
-		t.bp.Unpin(f, false)
+		t.fx.Unpin(f, false)
 		id = child
 	}
 	return id, nil

@@ -28,6 +28,11 @@ type Iterator struct {
 	bounded bool
 }
 
+// EmptyIterator returns an iterator positioned at the end: Next is
+// immediately false, Close is a no-op. The engine hands these out for
+// scans of tables that do not exist yet in a snapshot's view.
+func EmptyIterator() *Iterator { return &Iterator{done: true} }
+
 // Scan returns an iterator over the whole tree.
 func (t *Tree) Scan() (*Iterator, error) {
 	leaf, err := t.leftmostLeaf()
@@ -72,7 +77,7 @@ func (t *Tree) ScanRange(lo, hi int64) (*Iterator, error) {
 }
 
 func (t *Tree) newIterator(leaf pages.PageID, slot int) (*Iterator, error) {
-	f, err := t.bp.Fetch(leaf)
+	f, err := t.fx.Fetch(leaf)
 	if err != nil {
 		return nil, err
 	}
@@ -97,7 +102,7 @@ func (it *Iterator) Next() bool {
 				// Past the upper bound: the scan is over. Unpin now rather
 				// than waiting for Close, so a bound-terminated scan leaves
 				// no pinned pages even if the caller forgets to Close.
-				it.t.bp.Unpin(it.frame, false)
+				it.t.fx.Unpin(it.frame, false)
 				it.frame = nil
 				it.done = true
 				return false
@@ -107,13 +112,13 @@ func (it *Iterator) Next() bool {
 			return true
 		}
 		next := it.frame.Page.Next()
-		it.t.bp.Unpin(it.frame, false)
+		it.t.fx.Unpin(it.frame, false)
 		it.frame = nil
 		if next == pages.InvalidPageID {
 			it.done = true
 			return false
 		}
-		f, err := it.t.bp.Fetch(next)
+		f, err := it.t.fx.Fetch(next)
 		if err != nil {
 			it.err = err
 			it.done = true
@@ -136,7 +141,7 @@ func (it *Iterator) Err() error { return it.err }
 // Close releases the iterator's pinned page. Safe to call twice.
 func (it *Iterator) Close() {
 	if it.frame != nil {
-		it.t.bp.Unpin(it.frame, false)
+		it.t.fx.Unpin(it.frame, false)
 		it.frame = nil
 	}
 	it.done = true

@@ -91,6 +91,18 @@ const resolvePinFraction = 4
 // array payload must be contiguous and chunk pages are not (and because
 // pinning must never wedge the pool). A null ref resolves to nil.
 func (t *Table) ResolveMax(refBytes []byte, pins *BlobPins) ([]byte, error) {
+	return t.resolveMax(t.db.blobs, refBytes, pins)
+}
+
+// ResolveMaxAt is ResolveMax reading blob pages through the snapshot —
+// a ref decoded from a snapshot scan must resolve against the same
+// commit's chunk pages, or a concurrent UPDATE that freed and reused
+// the blob's pages could hand the scan foreign bytes.
+func (t *Table) ResolveMaxAt(s *Snapshot, refBytes []byte, pins *BlobPins) ([]byte, error) {
+	return t.resolveMax(s.blobs, refBytes, pins)
+}
+
+func (t *Table) resolveMax(bs *blob.Store, refBytes []byte, pins *BlobPins) ([]byte, error) {
 	ref, err := blob.DecodeRef(refBytes)
 	if err != nil {
 		return nil, err
@@ -100,7 +112,7 @@ func (t *Table) ResolveMax(refBytes []byte, pins *BlobPins) ([]byte, error) {
 	}
 	if pins != nil && blob.NumChunks(ref.Length) == 1 &&
 		pins.Held() < t.db.bp.Capacity()/resolvePinFraction {
-		v, err := t.db.blobs.View(ref)
+		v, err := bs.View(ref)
 		if err != nil {
 			return nil, err
 		}
@@ -110,7 +122,7 @@ func (t *Table) ResolveMax(refBytes []byte, pins *BlobPins) ([]byte, error) {
 		}
 		v.Release() // stored length disagreed with chunk count; fall back
 	}
-	return t.db.blobs.ReadAll(ref)
+	return bs.ReadAll(ref)
 }
 
 // ViewBlob pins a MAX column value's chunk pages and returns the
@@ -123,27 +135,55 @@ func (t *Table) ViewBlob(refBytes []byte) (*blob.View, error) {
 	return t.db.blobs.View(ref)
 }
 
+// ViewBlobAt is ViewBlob through the snapshot's blob view.
+func (t *Table) ViewBlobAt(s *Snapshot, refBytes []byte) (*blob.View, error) {
+	ref, err := blob.DecodeRef(refBytes)
+	if err != nil {
+		return nil, err
+	}
+	return s.blobs.View(ref)
+}
+
 // ReadBlobRuns performs a batch of partial reads of a MAX column blob,
 // described as byte runs of the stored blob (header offset already
 // applied), sharing one directory walk. This is how core.SubarrayPlan
 // runs reach the blob store without materializing the whole array.
 func (t *Table) ReadBlobRuns(refBytes []byte, dst []byte, runs []blob.Run) error {
+	return t.readBlobRuns(t.db.blobs, refBytes, dst, runs)
+}
+
+// ReadBlobRunsAt is ReadBlobRuns through the snapshot's blob view.
+func (t *Table) ReadBlobRunsAt(s *Snapshot, refBytes []byte, dst []byte, runs []blob.Run) error {
+	return t.readBlobRuns(s.blobs, refBytes, dst, runs)
+}
+
+func (t *Table) readBlobRuns(bs *blob.Store, refBytes []byte, dst []byte, runs []blob.Run) error {
 	ref, err := blob.DecodeRef(refBytes)
 	if err != nil {
 		return err
 	}
-	return t.db.blobs.ReadRuns(ref, dst, runs)
+	return bs.ReadRuns(ref, dst, runs)
 }
 
 // ReadBlobRunsPinned is the zero-copy variant of ReadBlobRuns: only the
 // chunk pages the runs touch are pinned, and the run bytes are visited
 // in place. The caller must Release the view.
 func (t *Table) ReadBlobRunsPinned(refBytes []byte, runs []blob.Run) (*blob.RunsView, error) {
+	return t.readBlobRunsPinned(t.db.blobs, refBytes, runs)
+}
+
+// ReadBlobRunsPinnedAt is ReadBlobRunsPinned through the snapshot's
+// blob view.
+func (t *Table) ReadBlobRunsPinnedAt(s *Snapshot, refBytes []byte, runs []blob.Run) (*blob.RunsView, error) {
+	return t.readBlobRunsPinned(s.blobs, refBytes, runs)
+}
+
+func (t *Table) readBlobRunsPinned(bs *blob.Store, refBytes []byte, runs []blob.Run) (*blob.RunsView, error) {
 	ref, err := blob.DecodeRef(refBytes)
 	if err != nil {
 		return nil, err
 	}
-	return t.db.blobs.ReadRunsPinned(ref, runs)
+	return bs.ReadRunsPinned(ref, runs)
 }
 
 // BlobHeader decodes just the array header of a stored MAX array,
@@ -154,11 +194,21 @@ func (t *Table) BlobHeader(refBytes []byte) (core.Header, int, error) {
 	if err != nil {
 		return core.Header{}, 0, err
 	}
-	return t.blobHeader(ref)
+	return t.blobHeader(t.db.blobs, ref)
 }
 
-// blobHeader is BlobHeader on an already-decoded ref.
-func (t *Table) blobHeader(ref blob.Ref) (core.Header, int, error) {
+// BlobHeaderAt is BlobHeader through the snapshot's blob view.
+func (t *Table) BlobHeaderAt(s *Snapshot, refBytes []byte) (core.Header, int, error) {
+	ref, err := blob.DecodeRef(refBytes)
+	if err != nil {
+		return core.Header{}, 0, err
+	}
+	return t.blobHeader(s.blobs, ref)
+}
+
+// blobHeader is BlobHeader on an already-decoded ref, reading through
+// the given store view (live or snapshot).
+func (t *Table) blobHeader(bs *blob.Store, ref blob.Ref) (core.Header, int, error) {
 	if ref.IsNull() {
 		return core.Header{}, 0, fmt.Errorf("%w: null blob", blob.ErrBadRef)
 	}
@@ -170,7 +220,7 @@ func (t *Table) blobHeader(ref blob.Ref) (core.Header, int, error) {
 		prefixLen = ref.Length
 	}
 	buf := make([]byte, prefixLen)
-	if err := t.db.blobs.ReadAt(ref, buf, 0); err != nil {
+	if err := bs.ReadAt(ref, buf, 0); err != nil {
 		return core.Header{}, 0, err
 	}
 	hs, err := core.HeaderSizeFromPrefix(buf)
@@ -183,7 +233,7 @@ func (t *Table) blobHeader(ref blob.Ref) (core.Header, int, error) {
 	}
 	if hs > len(buf) {
 		buf = make([]byte, hs)
-		if err := t.db.blobs.ReadAt(ref, buf, 0); err != nil {
+		if err := bs.ReadAt(ref, buf, 0); err != nil {
 			return core.Header{}, 0, err
 		}
 	}
@@ -200,11 +250,20 @@ func (t *Table) blobHeader(ref blob.Ref) (core.Header, int, error) {
 // size follow core.Array.Subarray; collapse drops unit dimensions. The
 // result is a fresh, caller-owned array.
 func (t *Table) BlobSubarray(refBytes []byte, offset, size []int, collapse bool) (*core.Array, error) {
+	return t.blobSubarray(t.db.blobs, refBytes, offset, size, collapse)
+}
+
+// BlobSubarrayAt is BlobSubarray through the snapshot's blob view.
+func (t *Table) BlobSubarrayAt(s *Snapshot, refBytes []byte, offset, size []int, collapse bool) (*core.Array, error) {
+	return t.blobSubarray(s.blobs, refBytes, offset, size, collapse)
+}
+
+func (t *Table) blobSubarray(bs *blob.Store, refBytes []byte, offset, size []int, collapse bool) (*core.Array, error) {
 	ref, err := blob.DecodeRef(refBytes)
 	if err != nil {
 		return nil, err
 	}
-	h, hs, err := t.blobHeader(ref)
+	h, hs, err := t.blobHeader(bs, ref)
 	if err != nil {
 		return nil, err
 	}
@@ -232,7 +291,7 @@ func (t *Table) BlobSubarray(refBytes []byte, offset, size []int, collapse bool)
 	// share chunk pages (a small corner of a cube lives on one chunk),
 	// and the pinned view fetches each touched chunk exactly once where
 	// ReadRuns would re-fetch per run.
-	rv, err := t.db.blobs.ReadRunsPinned(ref, blobRuns)
+	rv, err := bs.ReadRunsPinned(ref, blobRuns)
 	if err != nil {
 		return nil, err
 	}

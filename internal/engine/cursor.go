@@ -21,15 +21,19 @@ import (
 // Row (and any binary Values decoded from it) aliases the pinned leaf
 // page and is only valid until the next call to Next or Close; copy to
 // retain. Close must always be called: it releases the pinned page and
-// the table's shared latch (held for the cursor's whole lifetime, which
-// is what keeps concurrent DML off the pages the scan is reading), and
-// early termination (TOP n) would otherwise leak a pin and wedge
-// DropCleanBuffers.
+// the cursor's snapshot (when the cursor owns one — the convenience
+// constructors acquire a snapshot per cursor; the ...At variants read
+// through a caller-owned snapshot instead), and early termination
+// (TOP n) would otherwise leak a pin and wedge DropCleanBuffers.
+//
+// Cursors never latch the table: the snapshot pins the committed state
+// as of open, so concurrent DML commits do not block the scan and the
+// scan does not block them.
 type Cursor struct {
-	it     *btree.Iterator
-	schema *Schema
-	rv     RowView
-	unlock func()
+	it      *btree.Iterator
+	schema  *Schema
+	rv      RowView
+	release func()
 }
 
 // Cursor opens a streaming scan over the whole table.
@@ -42,18 +46,20 @@ func (t *Table) CursorFrom(start int64) (*Cursor, error) {
 	return t.CursorRange(start, math.MaxInt64)
 }
 
-// CursorRange opens a streaming scan over keys in [lo, hi], inclusive.
-// The underlying iterator stops (and unpins) as soon as it passes hi, so
-// a key-range query touches only the root-to-leaf descent plus the pages
-// the range spans.
+// CursorRange opens a streaming scan over keys in [lo, hi], inclusive,
+// on a snapshot acquired for the cursor's lifetime. The underlying
+// iterator stops (and unpins) as soon as it passes hi, so a key-range
+// query touches only the root-to-leaf descent plus the pages the range
+// spans.
 func (t *Table) CursorRange(lo, hi int64) (*Cursor, error) {
-	unlock := t.rlock()
-	it, err := t.tree.ScanRange(lo, hi)
+	s := t.db.Snapshot()
+	cur, err := t.CursorRangeAt(s, lo, hi)
 	if err != nil {
-		unlock()
+		s.Release()
 		return nil, err
 	}
-	return &Cursor{it: it, schema: &t.schema, unlock: unlock}, nil
+	cur.release = s.Release
+	return cur, nil
 }
 
 // Next advances to the next row, returning false at the end of the range
@@ -95,11 +101,11 @@ func (c *Cursor) Row() *RowView { return &c.rv }
 // Err returns the first error encountered while scanning.
 func (c *Cursor) Err() error { return c.it.Err() }
 
-// Close releases the cursor's pinned page and the table latch. Safe to
-// call twice.
+// Close releases the cursor's pinned page and its snapshot (when the
+// cursor owns one). Safe to call twice.
 func (c *Cursor) Close() {
 	c.it.Close()
-	if c.unlock != nil {
-		c.unlock()
+	if c.release != nil {
+		c.release()
 	}
 }

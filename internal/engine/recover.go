@@ -131,6 +131,10 @@ func (db *DB) recover() error {
 		t.rows.Store(st.Rows)
 		t.rowBytes.Store(st.RowBytes)
 		t.blobBytes.Store(st.BlobBytes)
+		// Seed the committed-version list: recovered state is visible to
+		// every snapshot (the commit clock starts at 1, so tag 1 <= any
+		// snapshot tag).
+		t.metas = []tableMeta{t.currentMeta(db.bp.CommitTag())}
 		db.tables[name] = t
 	}
 	return nil

@@ -14,22 +14,28 @@ import (
 // Table is a clustered table: rows live in B-tree leaves ordered by the
 // BIGINT key column, exactly the layout Table 1's queries scan.
 //
-// Concurrency: the table carries a read-write latch. Write sessions
-// (Insert/Update/Delete/UpdateBlobSubarray, always under the database's
-// single-writer lock) hold it exclusively; cursors and scans hold it
-// shared for their whole lifetime, which is what lets parallel batch
-// scans read pinned leaf pages and zero-copy blob views while DML runs
-// on other tables — and serializes them against DML on the same table.
-// The blob accessors (ResolveMax, BlobSubarray, ...) do not re-acquire
-// the latch: the SQL paths call them under an open cursor, and a second
-// shared acquisition from the same goroutine could deadlock against a
-// waiting writer. Standalone callers racing DML on the same table must
-// hold a cursor or serialize externally.
+// Concurrency: there is no table latch. Write sessions
+// (Insert/Update/Delete/UpdateBlobSubarray) are serialized by the
+// database's single-writer lock and mutate the live fields below
+// through copy-on-write page versions; readers never block them and
+// never see their uncommitted work. Cursors, scans and the blob
+// accessors resolve everything through a Snapshot — either one the
+// caller passes to the ...At variants, or one the convenience forms
+// acquire per call — whose visibility is fixed at open: the committed
+// catalog version in metas plus the page versions the buffer pool
+// retains. The live tree/rows/... fields are the single writer's
+// working state; only the writer (and commit/abort) touch them.
 type Table struct {
-	db        *DB
-	name      string
-	schema    Schema
-	mu        sync.RWMutex
+	db     *DB
+	name   string
+	schema Schema
+
+	// Committed catalog versions, ascending commit tag. Guarded by
+	// metaMu; appended by Commit, resolved by snapshot reads.
+	metaMu sync.Mutex
+	metas  []tableMeta
+
+	// Live single-writer state (the version under construction).
 	tree      *btree.Tree
 	rows      atomic.Int64
 	rowBytes  atomic.Int64 // sum of row-image sizes (excludes out-of-page blobs)
@@ -45,15 +51,6 @@ func (t *Table) Schema() *Schema { return &t.schema }
 // Rows returns the row count. Lock-free (the planner reads it while
 // scans run).
 func (t *Table) Rows() int64 { return t.rows.Load() }
-
-// rlock acquires the table's shared latch; the returned func releases
-// it exactly once (cursors call it from Close, which must be
-// idempotent).
-func (t *Table) rlock() func() {
-	t.mu.RLock()
-	var once sync.Once
-	return func() { once.Do(t.mu.RUnlock) }
-}
 
 // Insert adds a row as a single-statement write session.
 func (t *Table) Insert(vals []Value) error {
@@ -77,8 +74,6 @@ func (t *Table) InsertTx(tx *Tx, vals []Value) error {
 		return fmt.Errorf("engine: clustered key: %w", err)
 	}
 	tx.touch(t)
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	stored := vals
 	copied := false
 	var blobAdded int64
@@ -134,8 +129,6 @@ func (t *Table) UpdateTx(tx *Tx, key int64, cols []int, vals []Value) error {
 		return fmt.Errorf("%w: %d columns for %d values", ErrTypeError, len(cols), len(vals))
 	}
 	tx.touch(t)
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	raw, err := t.tree.Get(key)
 	if err != nil {
 		return err
@@ -243,8 +236,6 @@ func (t *Table) Delete(key int64) error {
 // list. Returns btree.ErrNotFound if the key is absent.
 func (t *Table) DeleteTx(tx *Tx, key int64) error {
 	tx.touch(t)
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	raw, err := t.tree.Get(key)
 	if err != nil {
 		return err
@@ -296,8 +287,6 @@ func (t *Table) UpdateBlobSubarray(key int64, col int, offset, size []int, src *
 // and must match the stored element type and the product of size.
 func (t *Table) UpdateBlobSubarrayTx(tx *Tx, key int64, col int, offset, size []int, src *core.Array) error {
 	tx.touch(t)
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	if col < 0 || col >= len(t.schema.Columns) {
 		return fmt.Errorf("%w: index %d", ErrNoColumn, col)
 	}
@@ -322,7 +311,7 @@ func (t *Table) UpdateBlobSubarrayTx(tx *Tx, key int64, col int, offset, size []
 	if err != nil {
 		return err
 	}
-	h, hs, err := t.blobHeader(ref)
+	h, hs, err := t.blobHeader(t.db.blobs, ref)
 	if err != nil {
 		return err
 	}
@@ -369,34 +358,29 @@ func (t *Table) decodeAll(raw []byte) ([]Value, error) {
 	return out, nil
 }
 
-// Get fetches the row with the given clustered key, fully decoded.
+// Get fetches the row with the given clustered key, fully decoded, from
+// a fresh snapshot (the committed state as of the call).
 func (t *Table) Get(key int64) ([]Value, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	raw, err := t.tree.Get(key)
-	if err != nil {
-		return nil, err
-	}
-	// Values alias raw, which we own here (tree.Get copies), so the
-	// caller may retain them.
-	return t.decodeAll(raw)
+	s := t.db.Snapshot()
+	defer s.Release()
+	// Values alias the tree.Get copy, which the caller may retain.
+	return t.GetAt(s, key)
 }
 
-// Scan performs a clustered index scan, invoking fn for every row in key
-// order. The RowView (and any binary Values decoded from it) is only
-// valid inside the callback. Returning false stops the scan.
+// Scan performs a clustered index scan over a fresh snapshot, invoking
+// fn for every row in key order. The RowView (and any binary Values
+// decoded from it) is only valid inside the callback. Returning false
+// stops the scan.
 func (t *Table) Scan(fn func(key int64, row *RowView) (bool, error)) error {
-	unlock := t.rlock()
-	defer unlock()
-	it, err := t.tree.Scan()
+	s := t.db.Snapshot()
+	defer s.Release()
+	cur, err := t.CursorAt(s)
 	if err != nil {
 		return err
 	}
-	defer it.Close()
-	var rv RowView
-	for it.Next() {
-		rv.reset(&t.schema, it.Value())
-		ok, err := fn(it.Key(), &rv)
+	defer cur.Close()
+	for cur.Next() {
+		ok, err := fn(cur.Key(), cur.Row())
 		if err != nil {
 			return err
 		}
@@ -404,16 +388,16 @@ func (t *Table) Scan(fn func(key int64, row *RowView) (bool, error)) error {
 			return nil
 		}
 	}
-	return it.Err()
+	return cur.Err()
 }
 
 // KeyBounds returns the smallest and largest clustered keys present, or
 // ok=false for an empty table. The parallel scan planner partitions the
 // key space with this.
 func (t *Table) KeyBounds() (min, max int64, ok bool, err error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.tree.Bounds()
+	s := t.db.Snapshot()
+	defer s.Release()
+	return t.KeyBoundsAt(s)
 }
 
 // FetchBlob materializes a VARBINARY(MAX) column value (a 12-byte ref,
@@ -446,23 +430,10 @@ type TableStats struct {
 	TreeHeight int
 }
 
-// Stats walks the leaf chain to count pages and returns the footprint.
+// Stats walks the leaf chain of a fresh snapshot to count pages and
+// returns the footprint.
 func (t *Table) Stats() (TableStats, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	leaves, err := t.countLeafPages()
-	if err != nil {
-		return TableStats{}, err
-	}
-	return TableStats{
-		Rows:       t.rows.Load(),
-		RowBytes:   t.rowBytes.Load(),
-		BlobBytes:  t.blobBytes.Load(),
-		LeafPages:  leaves,
-		TreeHeight: t.tree.Height(),
-	}, nil
-}
-
-func (t *Table) countLeafPages() (int, error) {
-	return t.tree.LeafPageCount()
+	s := t.db.Snapshot()
+	defer s.Release()
+	return t.StatsAt(s)
 }

@@ -68,23 +68,23 @@ type Tx struct {
 }
 
 // Begin opens a write session, serializing against all other writers
-// and (when a WAL is attached) starting the dirty-frame capture.
+// and starting the dirty-frame capture. The capture makes every page
+// the session touches copy-on-write: snapshot readers keep resolving
+// the pre-images until Commit publishes, and Abort discards the copies
+// as if the session never ran.
 func (db *DB) Begin() (*Tx, error) {
 	db.writeMu.Lock()
-	tx := &Tx{
+	c, err := db.bp.BeginCapture()
+	if err != nil {
+		db.writeMu.Unlock()
+		return nil, err
+	}
+	return &Tx{
 		db:      db,
+		cap:     c,
 		touched: make(map[*Table]struct{}),
 		created: make(map[*Table]struct{}),
-	}
-	if db.wal != nil {
-		c, err := db.bp.BeginCapture()
-		if err != nil {
-			db.writeMu.Unlock()
-			return nil, err
-		}
-		tx.cap = c
-	}
-	return tx, nil
+	}, nil
 }
 
 // touch records that the session mutated t (its state goes into the
@@ -98,21 +98,27 @@ func (tx *Tx) noteCreated(t *Table) {
 	tx.touched[t] = struct{}{}
 }
 
-// Commit logs the session's page after-images and catalog delta, syncs
-// the WAL (unless the database was opened with NoSyncOnCommit), and
-// releases the write lock. Commit is idempotent; a Tx must not be used
-// after it.
+// Commit logs the session's page after-images and catalog delta (when a
+// WAL is attached), syncs the WAL (unless the database was opened with
+// NoSyncOnCommit), publishes the session's page versions and catalog
+// versions atomically — one commit-clock tick, so a concurrent snapshot
+// sees all of the commit or none of it — and releases the write lock.
+// Commit is idempotent; a Tx must not be used after it.
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return nil
 	}
 	tx.done = true
 	defer tx.db.writeMu.Unlock()
+	frames := tx.db.bp.EndCapture(tx.cap)
+	if len(frames) == 0 && len(tx.touched) == 0 {
+		return nil // read-only session: nothing to log or publish
+	}
 	if tx.db.wal == nil {
+		tx.publish()
 		return nil
 	}
 	l := tx.db.wal
-	frames := tx.db.bp.EndCapture(tx.cap)
 	var firstErr error
 	for _, f := range frames {
 		err := tx.db.bp.LogDirtyFrame(f, func(p *pages.Page) (uint64, error) {
@@ -154,13 +160,11 @@ func (tx *Tx) Commit() error {
 		// A page image failed to reach the log. Without it, a commit
 		// record would let recovery apply this group's catalog delta
 		// against stale pages — silent corruption. Leave the group
-		// uncommitted: recovery discards it wholesale, and the frames
-		// stay unlogged (unflushable), so the database degrades to
-		// read-only rather than diverging from its log.
+		// uncommitted and unpublished: recovery discards it wholesale,
+		// the frames stay pending (unflushable, off the LRU), and
+		// snapshot readers keep resolving the pre-images — the database
+		// degrades to read-only rather than diverging from its log.
 		return firstErr
-	}
-	if len(frames) == 0 && len(tx.touched) == 0 {
-		return nil // read-only session: nothing to commit
 	}
 	payload, err := json.Marshal(tx.catalogDelta())
 	if err != nil {
@@ -174,22 +178,65 @@ func (tx *Tx) Commit() error {
 			firstErr = err
 		}
 	}
+	// Publish even when the commit record or sync degraded: the page
+	// images are logged and the in-memory state reflects the statement,
+	// so readers should see it — only durability is weakened, exactly as
+	// under NoSyncOnCommit, and the error still reaches the caller.
+	tx.publish()
 	return firstErr
 }
 
-// Close commits the session and returns opErr if non-nil, the commit
-// error otherwise — the one-liner for single-statement wrappers. The
-// page images of a failed statement are still logged: the in-memory
-// state already reflects them, and redo-only recovery must converge to
-// it (there is no undo). Catalog counters are only as the statement
-// left them, so a failed statement persists exactly its partial effects,
-// matching what a crash-free process would observe.
+// publish makes the session's work visible: stamp every captured frame
+// with the next commit tag, append each touched table's catalog version
+// under the same tag, then advance the commit clock. Snapshots acquired
+// before the clock tick resolve the pre-images; snapshots after it see
+// the whole commit.
+func (tx *Tx) publish() {
+	tag := tx.db.bp.PreparePublish(tx.cap)
+	for t := range tx.touched {
+		t.publishMeta(tag)
+	}
+	tx.db.bp.FinishPublish(tag)
+}
+
+// Abort discards the session: captured page copies are invalidated (the
+// WAL-before-flush victim scan can never persist them), displaced
+// pre-images are restored, touched tables' live state is reset to their
+// newest committed version, tables the session created are dropped from
+// the catalog, and the write lock is released. Nothing is logged — a
+// plain abort appends no WAL records, so recovery cannot resurrect any
+// of it. Idempotent (after Commit it is a no-op).
+func (tx *Tx) Abort() {
+	if tx.done {
+		return
+	}
+	tx.done = true
+	defer tx.db.writeMu.Unlock()
+	tx.db.bp.EndCapture(tx.cap)
+	tx.db.bp.AbortCapture(tx.cap)
+	for t := range tx.touched {
+		t.restoreMeta()
+	}
+	if len(tx.created) > 0 {
+		tx.db.mu.Lock()
+		for t := range tx.created {
+			delete(tx.db.tables, t.name)
+		}
+		tx.db.mu.Unlock()
+	}
+}
+
+// Close finishes the session: on a nil opErr it commits and returns the
+// commit error; on a non-nil opErr it aborts — releasing the write lock
+// and rolling every partial page and catalog effect back — and returns
+// opErr. This is the one-liner for single-statement wrappers: a failed
+// statement leaves the database exactly as it found it.
 func (tx *Tx) Close(opErr error) error {
-	cerr := tx.Commit()
 	if opErr != nil {
+		tx.Abort()
 		return opErr
 	}
-	return cerr
+	return tx.Commit()
 }
 
 // catalogDelta builds the commit record's table list.

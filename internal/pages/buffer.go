@@ -26,34 +26,48 @@ type Stats struct {
 	Admissions    uint64
 	Promotions    uint64
 	ScanEvictions uint64
+	// MVCC snapshot-read counters. CowCopies counts copy-on-write page
+	// duplications taken by write sessions (FetchForWrite); SnapshotReads
+	// counts snapshot fetches served from the version sidecar instead of
+	// the current page table; VersionsRetired counts sidecar entries
+	// garbage-collected once no live snapshot could still need them.
+	CowCopies       uint64
+	SnapshotReads   uint64
+	VersionsRetired uint64
 }
 
 // counters is the live, lock-free form of Stats. Every counter is an
 // atomic so hot paths (Fetch on a cache hit in particular) never
 // serialize on a statistics lock, and Stats() needs no lock at all.
 type counters struct {
-	logicalReads  atomic.Uint64
-	physicalReads atomic.Uint64
-	bytesRead     atomic.Uint64
-	writes        atomic.Uint64
-	bytesWritten  atomic.Uint64
-	evictions     atomic.Uint64
-	admissions    atomic.Uint64
-	promotions    atomic.Uint64
-	scanEvictions atomic.Uint64
+	logicalReads    atomic.Uint64
+	physicalReads   atomic.Uint64
+	bytesRead       atomic.Uint64
+	writes          atomic.Uint64
+	bytesWritten    atomic.Uint64
+	evictions       atomic.Uint64
+	admissions      atomic.Uint64
+	promotions      atomic.Uint64
+	scanEvictions   atomic.Uint64
+	cowCopies       atomic.Uint64
+	snapshotReads   atomic.Uint64
+	versionsRetired atomic.Uint64
 }
 
 func (c *counters) snapshot() Stats {
 	return Stats{
-		LogicalReads:  c.logicalReads.Load(),
-		PhysicalReads: c.physicalReads.Load(),
-		BytesRead:     c.bytesRead.Load(),
-		Writes:        c.writes.Load(),
-		BytesWritten:  c.bytesWritten.Load(),
-		Evictions:     c.evictions.Load(),
-		Admissions:    c.admissions.Load(),
-		Promotions:    c.promotions.Load(),
-		ScanEvictions: c.scanEvictions.Load(),
+		LogicalReads:    c.logicalReads.Load(),
+		PhysicalReads:   c.physicalReads.Load(),
+		BytesRead:       c.bytesRead.Load(),
+		Writes:          c.writes.Load(),
+		BytesWritten:    c.bytesWritten.Load(),
+		Evictions:       c.evictions.Load(),
+		Admissions:      c.admissions.Load(),
+		Promotions:      c.promotions.Load(),
+		ScanEvictions:   c.scanEvictions.Load(),
+		CowCopies:       c.cowCopies.Load(),
+		SnapshotReads:   c.snapshotReads.Load(),
+		VersionsRetired: c.versionsRetired.Load(),
 	}
 }
 
@@ -67,6 +81,9 @@ func (c *counters) reset() {
 	c.admissions.Store(0)
 	c.promotions.Store(0)
 	c.scanEvictions.Store(0)
+	c.cowCopies.Store(0)
+	c.snapshotReads.Store(0)
+	c.versionsRetired.Store(0)
 }
 
 // Frame is a pinned page in the buffer pool. Callers must Unpin every
@@ -93,6 +110,27 @@ type Frame struct {
 	// be flushed or evicted under any circumstances — its changes exist
 	// nowhere but in memory. Guarded by shard.mu.
 	unlogged bool
+	// verTag is the commit tag of the version this frame holds: a page is
+	// visible to a snapshot S exactly when verTag <= S (and the frame is
+	// not pending). Tag 0 is "older than every snapshot". Atomic so
+	// snapshot fetches can check visibility while a publish is stamping
+	// other shards.
+	verTag atomic.Uint64
+	// pending marks the private copy-on-write frame of the active write
+	// session: invisible to every snapshot, never on an LRU list, never
+	// flushed or evicted (publish or abort decides its fate). Guarded by
+	// shard.mu.
+	pending bool
+	// versioned marks a superseded pre-image living in the shard's
+	// version sidecar rather than the page table: readable by old
+	// snapshots, never re-enters the LRU, never flushed (its content is
+	// stale by definition). Guarded by shard.mu.
+	versioned bool
+	// supersededBy is the commit tag of the version that replaced this
+	// sidecar entry — 0 while the replacing session is still uncommitted.
+	// A sidecar entry is droppable once every active snapshot is at or
+	// past this tag. Guarded by shard.mu.
+	supersededBy uint64
 }
 
 // PageLSN returns the LSN of the frame's latest logged image (0 if the
@@ -117,6 +155,12 @@ type Capture struct {
 	mu     sync.Mutex
 	frames []*Frame
 	seen   map[*Frame]struct{}
+	// pre maps a pending copy-on-write frame to the committed pre-image
+	// it displaced into the version sidecar (nil entry = freshly created
+	// page with no prior version). Publish stamps the pre-image's
+	// supersede tag through this map; abort restores the pre-image into
+	// the page table.
+	pre map[*Frame]*Frame
 }
 
 func (c *Capture) add(f *Frame) {
@@ -126,6 +170,23 @@ func (c *Capture) add(f *Frame) {
 		c.frames = append(c.frames, f)
 	}
 	c.mu.Unlock()
+}
+
+// addPre records the pre-image a pending frame displaced (may be nil).
+func (c *Capture) addPre(pending, pre *Frame) {
+	c.mu.Lock()
+	if c.pre == nil {
+		c.pre = make(map[*Frame]*Frame)
+	}
+	c.pre[pending] = pre
+	c.mu.Unlock()
+}
+
+// preimage returns the pre-image recorded for a pending frame, if any.
+func (c *Capture) preimage(pending *Frame) *Frame {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pre[pending]
 }
 
 // Frames returns the captured frames in first-dirtied order.
@@ -157,6 +218,11 @@ type shard struct {
 	prob    *list.List // probationary segment; front = most recently used
 	prot    *list.List // protected segment; front = most recently used
 	free    []*Frame   // recycled frames (DropCleanBuffers feeds this)
+	// vers is the page-version sidecar: superseded pre-image frames per
+	// page, oldest first (ascending verTag). Entries live outside the
+	// page table and the LRU lists; they are dropped once no active
+	// snapshot can need them (see droppableLocked). Guarded by mu.
+	vers map[PageID][]*Frame
 }
 
 // listFor returns the LRU list a frame's tier assigns it to. Caller
@@ -198,6 +264,17 @@ type BufferPool struct {
 	slru    atomic.Bool // scan-resistant segmented LRU (off = plain LRU)
 	wal     WAL         // flush gate; nil = no durability protocol
 	capture atomic.Pointer[Capture]
+	// snapClock is the synthetic commit clock: the tag of the newest
+	// published commit. AcquireSnapshot reads it; FinishPublish advances
+	// it. It starts at 1 so content tagged 0 ("pre-history": pages loaded
+	// from disk with an empty sidecar, recovered state) is visible to
+	// every snapshot.
+	snapClock atomic.Uint64
+	// minSnap caches the smallest active snapshot tag (^0 when none), so
+	// GC checks under a shard lock never need snapMu.
+	minSnap    atomic.Uint64
+	snapMu     sync.Mutex
+	snapActive map[uint64]int // tag -> live snapshot count
 }
 
 const (
@@ -250,13 +327,16 @@ func NewBufferPoolShards(disk DiskManager, capacity, nShards int) *BufferPool {
 		log2++
 	}
 	bp := &BufferPool{
-		disk:   disk,
-		cap:    capacity,
-		shards: make([]*shard, nShards),
-		shift:  uint(32 - log2),
+		disk:       disk,
+		cap:        capacity,
+		shards:     make([]*shard, nShards),
+		shift:      uint(32 - log2),
+		snapActive: make(map[uint64]int),
 	}
 	bp.verify.Store(true)
 	bp.slru.Store(true)
+	bp.snapClock.Store(1)
+	bp.minSnap.Store(^uint64(0))
 	base, rem := capacity/nShards, capacity%nShards
 	for i := range bp.shards {
 		c := base
@@ -269,6 +349,7 @@ func NewBufferPoolShards(disk DiskManager, capacity, nShards int) *BufferPool {
 			table:   make(map[PageID]*Frame, c),
 			prob:    list.New(),
 			prot:    list.New(),
+			vers:    make(map[PageID][]*Frame),
 		}
 	}
 	return bp
@@ -398,8 +479,16 @@ func (bp *BufferPool) Fetch(id PageID) (*Frame, error) {
 	f.pins.Store(1)
 	f.dirty = false
 	f.unlogged = false
+	f.pending = false
+	f.versioned = false
 	f.tier = tierProbation
 	f.pageLSN.Store(f.Page.LSN())
+	// Disk always holds the newest published content at miss time
+	// (published dirty frames are flushed before eviction), so the loaded
+	// frame's version tag is the newest commit recorded against this page
+	// in the sidecar — or 0 ("pre-history") when no retained version
+	// chain mentions it.
+	f.verTag.Store(s.latestSupersedeLocked(id))
 	bp.stats.admissions.Add(1)
 	s.table[id] = f
 	s.mu.Unlock()
@@ -425,12 +514,20 @@ func (bp *BufferPool) NewPage(t PageType) (*Frame, error) {
 	f.pins.Store(1)
 	f.dirty = true
 	f.unlogged = false
+	f.pending = false
+	f.versioned = false
 	f.tier = tierProbation
 	f.pageLSN.Store(0)
+	f.verTag.Store(0)
 	bp.stats.admissions.Add(1)
 	if c := bp.capture.Load(); c != nil {
+		// A page created inside a write session is a pending version with
+		// no pre-image: invisible to snapshots, kept off the LRU until the
+		// session publishes or aborts.
 		f.unlogged = true
+		f.pending = true
 		c.add(f)
+		c.addPre(f, nil)
 	}
 	s.table[id] = f
 	return f, nil
@@ -461,6 +558,12 @@ func (s *shard) victimLocked(bp *BufferPool) (*Frame, error) {
 	for _, l := range [2]*list.List{s.prob, s.prot} {
 		for el := l.Back(); el != nil; el = el.Prev() {
 			f := el.Value.(*Frame)
+			// Pending and versioned frames never enter the LRU lists; the
+			// guard is defense in depth (evicting one would recycle a frame
+			// a capture or snapshot still points at).
+			if f.pending || f.versioned {
+				continue
+			}
 			if f.dirty && !bp.flushableLocked(f) {
 				continue
 			}
@@ -526,8 +629,20 @@ func (bp *BufferPool) Unpin(f *Frame, dirty bool) {
 	s := f.shard
 	s.mu.Lock()
 	if dirty {
+		if f.versioned {
+			s.mu.Unlock()
+			panic(fmt.Sprintf("pages: write to superseded version of page %d", f.Page.ID))
+		}
 		f.dirty = true
 		if c := bp.capture.Load(); c != nil {
+			if !f.pending {
+				// A write session must reach every page it mutates through
+				// FetchForWrite (or NewPage) so snapshots keep reading the
+				// committed pre-image; an in-place write here would tear
+				// concurrent snapshot reads.
+				s.mu.Unlock()
+				panic(fmt.Sprintf("pages: in-place write to page %d under an active write session (missing FetchForWrite)", f.Page.ID))
+			}
 			f.unlogged = true
 			c.add(f)
 		}
@@ -535,7 +650,12 @@ func (bp *BufferPool) Unpin(f *Frame, dirty bool) {
 	if f.pins.Load() > 0 {
 		f.pins.Add(-1)
 	}
-	if f.pins.Load() == 0 && f.lru == nil {
+	// Pending and versioned frames stay off the LRU: a pending frame's
+	// fate is decided by publish/abort, and a superseded version must
+	// never become an eviction victim (its content is stale; flushing it
+	// would clobber newer disk state). Versioned frames are instead
+	// garbage-collected once unpinned and no longer needed.
+	if f.pins.Load() == 0 && f.lru == nil && !f.pending && !f.versioned {
 		if !bp.slru.Load() {
 			// Plain-LRU mode: collapse everything back into the single
 			// probationary list so the toggle degrades cleanly.
@@ -545,6 +665,9 @@ func (bp *BufferPool) Unpin(f *Frame, dirty bool) {
 		if f.tier == tierProtected {
 			s.enforceProtCapLocked()
 		}
+	}
+	if f.versioned && f.pins.Load() == 0 {
+		s.dropVersionsLocked(bp, f.Page.ID)
 	}
 	s.mu.Unlock()
 }
@@ -564,7 +687,7 @@ func (bp *BufferPool) FlushAll() error {
 		s.mu.Lock()
 		for _, f := range s.table {
 			if f.dirty {
-				if f.unlogged {
+				if f.unlogged || f.pending {
 					s.mu.Unlock()
 					return fmt.Errorf("pages: page %d dirty but unlogged (write session active during flush)", f.Page.ID)
 				}
@@ -605,8 +728,15 @@ func (bp *BufferPool) DropCleanBuffers() error {
 			if f.pins.Load() > 0 {
 				return fmt.Errorf("pages: page %d still pinned", id)
 			}
-			if f.unlogged {
+			if f.unlogged || f.pending {
 				return fmt.Errorf("pages: page %d dirty but unlogged (write session active)", id)
+			}
+		}
+		for id, vs := range s.vers {
+			for _, f := range vs {
+				if f.pins.Load() > 0 {
+					return fmt.Errorf("pages: superseded version of page %d still pinned", id)
+				}
 			}
 		}
 	}
@@ -630,6 +760,12 @@ func (bp *BufferPool) DropCleanBuffers() error {
 		s.table = make(map[PageID]*Frame, s.cap)
 		s.prob.Init()
 		s.prot.Init()
+		// Retire whatever versions no live snapshot can still need; the
+		// rest stay in the sidecar (an active snapshot may come back for
+		// them — dropping the *current* cache never invalidates history).
+		for id := range s.vers {
+			s.dropVersionsLocked(bp, id)
+		}
 	}
 	return nil
 }
@@ -651,6 +787,13 @@ func (bp *BufferPool) PinnedFrames() int {
 		for _, f := range s.table {
 			if f.pins.Load() > 0 {
 				n++
+			}
+		}
+		for _, vs := range s.vers {
+			for _, f := range vs {
+				if f.pins.Load() > 0 {
+					n++
+				}
 			}
 		}
 		s.mu.Unlock()

@@ -52,6 +52,7 @@ func TestEvictionRespectsDurableLSN(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	bp.FinishPublish(bp.PreparePublish(cap1))
 
 	// With durable = 0 no dirty frame may be flushed: allocating a third
 	// page must fail rather than evict one.
@@ -96,6 +97,7 @@ func TestUnloggedFramesAreNeverFlushed(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	bp.FinishPublish(bp.PreparePublish(c))
 	if err := bp.FlushAll(); err != nil {
 		t.Fatalf("FlushAll after logging: %v", err)
 	}

@@ -166,6 +166,7 @@ type batchOperator interface {
 // values off the pinned page into the batch arena.
 type batchScanOp struct {
 	tbl    *engine.Table
+	snap   *engine.Snapshot
 	qctx   context.Context
 	lo, hi int64
 	need   []bool
@@ -173,7 +174,7 @@ type batchScanOp struct {
 }
 
 func (s *batchScanOp) open() error {
-	cur, err := s.tbl.CursorRange(s.lo, s.hi)
+	cur, err := s.tbl.CursorRangeAt(s.snap, s.lo, s.hi)
 	if err != nil {
 		return err
 	}
@@ -351,6 +352,7 @@ func (a *batchAggOp) close() error { return a.child.close() }
 // accumulating whole batches), and the partials merge in partition order.
 type batchParallelAggOp struct {
 	tbl       *engine.Table
+	snap      *engine.Snapshot // shared read view; safe for concurrent workers
 	qctx      context.Context
 	lo, hi    int64
 	workers   int
@@ -387,7 +389,7 @@ func (p *batchParallelAggOp) scanPartition(st *workerState, lo, hi int64, stop *
 		stop.Store(true)
 		return err
 	}
-	cur, err := p.tbl.CursorRange(lo, hi)
+	cur, err := p.tbl.CursorRangeAt(p.snap, lo, hi)
 	if err != nil {
 		return fail(err)
 	}

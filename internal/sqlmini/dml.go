@@ -365,7 +365,12 @@ func execUpdate(db *engine.DB, stmt *UpdateStmt, qctx context.Context) (*ExecRes
 		return nil, err
 	}
 	schema := tbl.Schema()
-	cc := &compileCtx{db: db, tbl: tbl, schema: schema, used: make([]bool, len(schema.Columns))}
+	// The read phase runs on a snapshot: SET expressions and the residual
+	// predicate evaluate against pre-statement state (Halloween-safe),
+	// and blob derefs inside them resolve the same commit's chunk pages.
+	snap := db.Snapshot()
+	defer snap.Release()
+	cc := &compileCtx{db: db, tbl: tbl, schema: schema, snap: snap, used: make([]bool, len(schema.Columns))}
 	assigns := make([]*compiledAssign, 0, len(stmt.Sets))
 	for _, a := range stmt.Sets {
 		if hasAggregate(a.Value) {
@@ -441,7 +446,7 @@ func collectUpdates(db *engine.DB, tbl *engine.Table, where Expr, cc *compileCtx
 				u.cols = append(u.cols, ca.col)
 				u.vals = append(u.vals, copyValue(v))
 			case assignSubarray, assignItem:
-				sub, plain, err := evalSubAssign(tbl, cc.schema, ca, ctx)
+				sub, plain, err := evalSubAssign(tbl, cc.snap, cc.schema, ca, ctx)
 				if err != nil {
 					return err
 				}
@@ -462,8 +467,9 @@ func collectUpdates(db *engine.DB, tbl *engine.Table, where Expr, cc *compileCtx
 // evalSubAssign evaluates a subscript assignment for the current row.
 // MAX columns yield a subUpdate (in-place chunk writes); short inline
 // columns yield a patched whole-column value (plain assignment), since
-// their bytes live in the row image anyway.
-func evalSubAssign(tbl *engine.Table, schema *engine.Schema, ca *compiledAssign, ctx *rowCtx) (*subUpdate, engine.Value, error) {
+// their bytes live in the row image anyway. snap is the read phase's
+// snapshot (header reads resolve the same commit the scan sees).
+func evalSubAssign(tbl *engine.Table, snap *engine.Snapshot, schema *engine.Schema, ca *compiledAssign, ctx *rowCtx) (*subUpdate, engine.Value, error) {
 	var offset, size []int
 	if ca.kind == assignSubarray {
 		var err error
@@ -501,7 +507,7 @@ func evalSubAssign(tbl *engine.Table, schema *engine.Schema, ca *compiledAssign,
 	if schema.Columns[ca.col].Type == engine.ColVarBinaryMax {
 		// cur.B is the 12-byte ref (target columns are not compiled
 		// through cMaxCol, so no payload materialization happened).
-		h, _, err := tbl.BlobHeader(cur.B)
+		h, _, err := tbl.BlobHeaderAt(snap, cur.B)
 		if err != nil {
 			return nil, engine.Null, err
 		}
@@ -557,7 +563,11 @@ func execDelete(db *engine.DB, stmt *DeleteStmt, qctx context.Context) (*ExecRes
 		return nil, err
 	}
 	schema := tbl.Schema()
-	cc := &compileCtx{db: db, tbl: tbl, schema: schema, used: make([]bool, len(schema.Columns))}
+	// Read phase on a snapshot, like UPDATE: the WHERE evaluates against
+	// pre-statement state only.
+	snap := db.Snapshot()
+	defer snap.Release()
+	cc := &compileCtx{db: db, tbl: tbl, schema: schema, snap: snap, used: make([]bool, len(schema.Columns))}
 	var keys []int64
 	if err := scanMatching(db, tbl, stmt.Where, cc, qctx, func(ctx *rowCtx) error {
 		keys = append(keys, ctx.key)
@@ -587,8 +597,9 @@ func execDelete(db *engine.DB, stmt *DeleteStmt, qctx context.Context) (*ExecRes
 
 // scanMatching runs the shared read phase: extract sargable key bounds
 // from the WHERE tree, compile the residual, and stream the range
-// through a cursor, invoking fn for each matching row. qctx (may be
-// nil) is polled per row so a canceled statement stops scanning.
+// through a cursor on cc.snap (the statement's read snapshot), invoking
+// fn for each matching row. qctx (may be nil) is polled per row so a
+// canceled statement stops scanning.
 func scanMatching(db *engine.DB, tbl *engine.Table, where Expr, cc *compileCtx, qctx context.Context, fn func(ctx *rowCtx) error) error {
 	if where != nil && hasAggregate(where) {
 		return fmt.Errorf("sql: aggregates are not allowed in WHERE")
@@ -608,7 +619,7 @@ func scanMatching(db *engine.DB, tbl *engine.Table, where Expr, cc *compileCtx, 
 			return err
 		}
 	}
-	cur, err := tbl.CursorRange(bounds.loKey(), bounds.hiKey())
+	cur, err := tbl.CursorRangeAt(cc.snap, bounds.loKey(), bounds.hiKey())
 	if err != nil {
 		return err
 	}

@@ -83,21 +83,41 @@ func QueryWith(db *engine.DB, query string, opts ExecOptions) (*Rows, error) {
 }
 
 // StreamWith plans a parsed statement and opens the operator pipeline,
-// returning a streaming row cursor over it.
+// returning a streaming row cursor over it. The whole pipeline — every
+// scan, every parallel worker, every MAX-column deref — reads through
+// one snapshot, so the query observes a single commit no matter how
+// many writers land while it streams (and no writer ever waits for it).
+// The snapshot comes from ExecOptions.Snapshot when set; otherwise one
+// is acquired here, owned by the Rows, and released by Rows.Close.
 func StreamWith(db *engine.DB, stmt *SelectStmt, opts ExecOptions) (*Rows, error) {
 	tbl, err := db.Table(stmt.Table)
 	if err != nil {
 		return nil, err
 	}
-	pl, err := buildPipeline(db, tbl, stmt, opts)
-	if err != nil {
+	snap := opts.Snapshot
+	owned := snap == nil
+	if owned {
+		snap = db.Snapshot()
+	}
+	fail := func(err error) (*Rows, error) {
+		if owned {
+			snap.Release()
+		}
 		return nil, err
+	}
+	pl, err := buildPipeline(db, tbl, stmt, snap, opts)
+	if err != nil {
+		return fail(err)
 	}
 	if err := pl.root.open(); err != nil {
 		pl.root.close()
-		return nil, err
+		return fail(err)
 	}
-	return &Rows{columns: pl.columns, root: pl.root}, nil
+	r := &Rows{columns: pl.columns, root: pl.root}
+	if owned {
+		r.snap = snap
+	}
+	return r, nil
 }
 
 // Rows streams query results one row at a time:
@@ -114,6 +134,7 @@ func StreamWith(db *engine.DB, stmt *SelectStmt, opts ExecOptions) (*Rows, error
 type Rows struct {
 	columns  []string
 	root     operator
+	snap     *engine.Snapshot // released on Close when the query owns it
 	cur      []engine.Value
 	err      error
 	closed   bool
@@ -148,16 +169,22 @@ func (r *Rows) Row() []engine.Value { return r.cur }
 // Err returns the first error encountered while streaming.
 func (r *Rows) Err() error { return r.err }
 
-// Close tears down the pipeline, releasing any pinned pages. It is
-// idempotent: repeated calls return the first close's error without
-// touching the (already released) pipeline again, and Next after Close
-// always reports false.
+// Close tears down the pipeline, releasing any pinned pages (including
+// Batch-owned blob pins from in-flight MAX-column resolves) and the
+// query's snapshot. It is idempotent: repeated calls return the first
+// close's error without touching the (already released) pipeline again,
+// and Next after Close always reports false.
 func (r *Rows) Close() error {
 	if r.closed {
 		return r.closeErr
 	}
 	r.closed = true
 	r.closeErr = r.root.close()
+	if r.snap != nil {
+		// After every pin is back (blob views alias snapshot-resolved
+		// pages), so superseded page versions can retire.
+		r.snap.Release()
+	}
 	return r.closeErr
 }
 
@@ -246,13 +273,24 @@ type cCol struct{ idx int }
 // reference executor built on it) uses the copying read — there is no
 // batch to own a pin there.
 type cMaxCol struct {
-	tbl *engine.Table
-	idx int
-	vec []engine.Value
+	tbl  *engine.Table
+	snap *engine.Snapshot // the query's read view; nil falls back to live pages
+	idx  int
+	vec  []engine.Value
 }
 
 func (c *cMaxCol) resolve(refBytes []byte, pins *engine.BlobPins) (engine.Value, error) {
-	payload, err := c.tbl.ResolveMax(refBytes, pins)
+	// Resolve through the query's snapshot: a ref read from a snapshot
+	// row must dereference the same commit's chunk pages, or a
+	// concurrent UPDATE that freed and reused the blob's pages could
+	// hand this scan foreign bytes.
+	var payload []byte
+	var err error
+	if c.snap != nil {
+		payload, err = c.tbl.ResolveMaxAt(c.snap, refBytes, pins)
+	} else {
+		payload, err = c.tbl.ResolveMax(refBytes, pins)
+	}
 	if err != nil {
 		return engine.Null, err
 	}
@@ -835,6 +873,7 @@ type compileCtx struct {
 	db     *engine.DB
 	tbl    *engine.Table
 	schema *engine.Schema
+	snap   *engine.Snapshot // read view for MAX-column derefs; may be nil
 	accs   []*accumulator
 	used   []bool
 }
@@ -866,7 +905,7 @@ func (cc *compileCtx) compile(e Expr, inAggQuery bool) (compiled, error) {
 			return nil, fmt.Errorf("sql: column %q must appear inside an aggregate function", n.Name)
 		}
 		if cc.schema.Columns[idx].Type == engine.ColVarBinaryMax {
-			return &cMaxCol{tbl: cc.tbl, idx: idx}, nil
+			return &cMaxCol{tbl: cc.tbl, snap: cc.snap, idx: idx}, nil
 		}
 		return &cCol{idx: idx}, nil
 	case *Star:

@@ -51,6 +51,7 @@ type operator interface {
 // uses the full int64 range.
 type scanOp struct {
 	tbl    *engine.Table
+	snap   *engine.Snapshot
 	qctx   context.Context
 	lo, hi int64
 	cur    *engine.Cursor
@@ -58,7 +59,7 @@ type scanOp struct {
 }
 
 func (s *scanOp) open() error {
-	cur, err := s.tbl.CursorRange(s.lo, s.hi)
+	cur, err := s.tbl.CursorRangeAt(s.snap, s.lo, s.hi)
 	if err != nil {
 		return err
 	}
@@ -300,6 +301,7 @@ func runPartitions(qctx context.Context, lo, hi int64, workers int, newWorker fu
 // partitioning by leaf pages would fix that and is a planned follow-up.
 type parallelAggOp struct {
 	tbl       *engine.Table
+	snap      *engine.Snapshot // shared read view; safe for concurrent workers
 	qctx      context.Context
 	lo, hi    int64 // key range to aggregate over (inclusive, lo <= hi)
 	workers   int
@@ -330,7 +332,7 @@ func (p *parallelAggOp) next() (*rowCtx, error) {
 // scanPartition runs one worker's scan-filter-accumulate loop over
 // [lo, hi]. stop is a cooperative abort flag set when any worker fails.
 func (p *parallelAggOp) scanPartition(st *workerState, lo, hi int64, stop *atomic.Bool) error {
-	cur, err := p.tbl.CursorRange(lo, hi)
+	cur, err := p.tbl.CursorRangeAt(p.snap, lo, hi)
 	if err != nil {
 		stop.Store(true)
 		return err

@@ -21,7 +21,7 @@ func referenceRun(db *engine.DB, query string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cs, err := compileStmt(db, tbl, stmt, stmt.Where)
+	cs, err := compileStmt(db, tbl, stmt, stmt.Where, nil)
 	if err != nil {
 		return nil, err
 	}

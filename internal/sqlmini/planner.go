@@ -44,6 +44,12 @@ type ExecOptions struct {
 	// instead of the batch executor. Kept for comparison benchmarks and
 	// the golden-equivalence suite; results are identical either way.
 	RowPipeline bool
+	// Snapshot, when non-nil, runs the query against this caller-owned
+	// read view instead of one acquired at open — several queries can
+	// share one consistent view of the database. The caller keeps
+	// ownership: Rows.Close does not release it. When nil, every query
+	// acquires its own snapshot at open and releases it at Close.
+	Snapshot *engine.Snapshot
 }
 
 const defaultParallelThreshold = 8192
@@ -285,9 +291,10 @@ type compiledStmt struct {
 
 // compileStmt compiles the statement's expressions against the table
 // schema, registering aggregate accumulators. residualWhere replaces
-// stmt.Where (the planner strips pushed-down conjuncts first).
-func compileStmt(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, residualWhere Expr) (*compiledStmt, error) {
-	cc := &compileCtx{db: db, tbl: tbl, schema: tbl.Schema(), used: make([]bool, len(tbl.Schema().Columns))}
+// stmt.Where (the planner strips pushed-down conjuncts first). snap is
+// the read view MAX-column derefs resolve blob pages through.
+func compileStmt(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, residualWhere Expr, snap *engine.Snapshot) (*compiledStmt, error) {
+	cc := &compileCtx{db: db, tbl: tbl, schema: tbl.Schema(), snap: snap, used: make([]bool, len(tbl.Schema().Columns))}
 	cs := &compiledStmt{}
 	for _, it := range stmt.Items {
 		cs.aggregate = cs.aggregate || hasAggregate(it.Expr)
@@ -324,14 +331,16 @@ func compileStmt(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, residualWhe
 
 // buildPipeline lowers a statement into an operator tree: the batch
 // executor by default, or the legacy row-at-a-time pipeline when
-// ExecOptions.RowPipeline is set.
-func buildPipeline(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, opts ExecOptions) (*pipeline, error) {
+// ExecOptions.RowPipeline is set. Every scan in the tree — including
+// the parallel aggregate workers — reads through snap, so the whole
+// query observes one commit.
+func buildPipeline(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, snap *engine.Snapshot, opts ExecOptions) (*pipeline, error) {
 	bounds := unboundedKeys()
 	residual := stmt.Where
 	if stmt.Where != nil && !hasAggregate(stmt.Where) {
 		bounds, residual = extractKeyBounds(stmt.Where, tbl.Schema())
 	}
-	cs, err := compileStmt(db, tbl, stmt, residual)
+	cs, err := compileStmt(db, tbl, stmt, residual, snap)
 	if err != nil {
 		return nil, err
 	}
@@ -342,14 +351,15 @@ func buildPipeline(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, opts Exec
 	}
 
 	if opts.RowPipeline {
-		return buildRowPipeline(db, tbl, stmt, residual, cs, lo, hi, bounds.empty, opts), nil
+		return buildRowPipeline(db, tbl, stmt, residual, cs, snap, lo, hi, bounds.empty, opts), nil
 	}
 
 	var root batchOperator
 	if cs.aggregate && !bounds.empty {
-		if plo, phi, workers, ok := parallelAggSpan(tbl, lo, hi, opts); ok {
+		if plo, phi, workers, ok := parallelAggSpan(tbl, snap, lo, hi, opts); ok {
 			root = &batchParallelAggOp{
 				tbl:       tbl,
+				snap:      snap,
 				qctx:      opts.Ctx,
 				lo:        plo,
 				hi:        phi,
@@ -357,12 +367,12 @@ func buildPipeline(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, opts Exec
 				batchSize: opts.batchSize(),
 				need:      cs.used,
 				accs:      cs.accs,
-				newWorker: newWorkerFunc(db, tbl, stmt, residual),
+				newWorker: newWorkerFunc(db, tbl, stmt, residual, snap),
 			}
 		}
 	}
 	if root == nil {
-		root = &batchScanOp{tbl: tbl, qctx: opts.Ctx, lo: lo, hi: hi, need: cs.used}
+		root = &batchScanOp{tbl: tbl, snap: snap, qctx: opts.Ctx, lo: lo, hi: hi, need: cs.used}
 		if cs.where != nil {
 			root = &batchFilterOp{child: root, qctx: opts.Ctx, pred: cs.where}
 		}
@@ -388,23 +398,24 @@ func buildPipeline(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, opts Exec
 
 // buildRowPipeline assembles the legacy row-at-a-time operator tree.
 func buildRowPipeline(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, residual Expr,
-	cs *compiledStmt, lo, hi int64, empty bool, opts ExecOptions) *pipeline {
+	cs *compiledStmt, snap *engine.Snapshot, lo, hi int64, empty bool, opts ExecOptions) *pipeline {
 	var root operator
 	if cs.aggregate && !empty {
-		if plo, phi, workers, ok := parallelAggSpan(tbl, lo, hi, opts); ok {
+		if plo, phi, workers, ok := parallelAggSpan(tbl, snap, lo, hi, opts); ok {
 			root = &parallelAggOp{
 				tbl:       tbl,
+				snap:      snap,
 				qctx:      opts.Ctx,
 				lo:        plo,
 				hi:        phi,
 				workers:   workers,
 				accs:      cs.accs,
-				newWorker: newWorkerFunc(db, tbl, stmt, residual),
+				newWorker: newWorkerFunc(db, tbl, stmt, residual, snap),
 			}
 		}
 	}
 	if root == nil {
-		root = &scanOp{tbl: tbl, qctx: opts.Ctx, lo: lo, hi: hi}
+		root = &scanOp{tbl: tbl, snap: snap, qctx: opts.Ctx, lo: lo, hi: hi}
 		if cs.where != nil {
 			root = &filterOp{child: root, qctx: opts.Ctx, pred: cs.where}
 		}
@@ -422,9 +433,9 @@ func buildRowPipeline(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, residu
 // newWorkerFunc builds the per-worker compile closure of a parallel
 // aggregate scan. Compiled expressions are stateful (argument buffers,
 // batch scratch vectors), so every worker compiles its own copies.
-func newWorkerFunc(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, residual Expr) func() (workerState, error) {
+func newWorkerFunc(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, residual Expr, snap *engine.Snapshot) func() (workerState, error) {
 	return func() (workerState, error) {
-		ws, err := compileStmt(db, tbl, stmt, residual)
+		ws, err := compileStmt(db, tbl, stmt, residual, snap)
 		if err != nil {
 			return workerState{}, err
 		}
@@ -434,13 +445,15 @@ func newWorkerFunc(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, residual 
 
 // parallelAggSpan decides whether an aggregate scan is worth running in
 // parallel, returning the key range clipped to the keys actually present
-// so the partitions cover real data.
-func parallelAggSpan(tbl *engine.Table, lo, hi int64, opts ExecOptions) (int64, int64, int, bool) {
+// so the partitions cover real data. Row count and key bounds come from
+// the snapshot, so the decision and the partition layout match the data
+// the workers will actually scan.
+func parallelAggSpan(tbl *engine.Table, snap *engine.Snapshot, lo, hi int64, opts ExecOptions) (int64, int64, int, bool) {
 	workers := opts.workers()
-	if workers < 2 || tbl.Rows() < opts.threshold() {
+	if workers < 2 || tbl.RowsAt(snap) < opts.threshold() {
 		return 0, 0, 0, false
 	}
-	minKey, maxKey, ok, err := tbl.KeyBounds()
+	minKey, maxKey, ok, err := tbl.KeyBoundsAt(snap)
 	if err != nil || !ok {
 		return 0, 0, 0, false
 	}

@@ -1,0 +1,352 @@
+package sqlmini
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sqlarray/internal/core"
+	"sqlarray/internal/engine"
+	"sqlarray/internal/pages"
+	"sqlarray/internal/wal"
+)
+
+// This file is the tentpole's regression suite: readers ride snapshots
+// instead of the (removed) table latch, so a scan opened before a
+// commit must see exactly the pre-commit data, writers must never wait
+// for an open scan, and when everything is released the version store
+// and pin counts must drain to zero.
+
+// openTestDB builds a WAL-backed in-memory database with one table of
+// rows sequential keys, x = xInit for every row, and m a single-chunk
+// 64-float MAX array.
+func openTestDB(t *testing.T, rows int, xInit float64) (*engine.DB, *engine.Table) {
+	t.Helper()
+	l, err := wal.Open(wal.NewMemStorage(), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := engine.Open(engine.Options{Disk: pages.NewMemDisk(), PoolPages: 1024, WAL: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerArrayFuncs(db)
+	s, err := engine.NewSchema(
+		engine.Column{Name: "id", Type: engine.ColInt64},
+		engine.Column{Name: "x", Type: engine.ColFloat64},
+		engine.Column{Name: "m", Type: engine.ColVarBinaryMax},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.CreateTable("t", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := make([]float64, 64)
+	for i := 0; i < rows; i++ {
+		for j := range arr {
+			arr[j] = float64(j)
+		}
+		a, err := core.FromFloat64s(core.Max, core.Float64, arr, len(arr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.Insert([]engine.Value{
+			engine.IntValue(int64(i)), engine.FloatValue(xInit), engine.BinaryMaxValue(a.Bytes()),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, tbl
+}
+
+// assertDrained checks the end-of-test invariants: no pinned frames, no
+// active snapshots, and an empty page version store.
+func assertDrained(t *testing.T, db *engine.DB) {
+	t.Helper()
+	if n := db.Pool().PinnedFrames(); n != 0 {
+		t.Fatalf("%d frames left pinned", n)
+	}
+	if n := db.Pool().ActiveSnapshots(); n != 0 {
+		t.Fatalf("%d snapshots left unreleased", n)
+	}
+	if n := db.Pool().VersionPages(); n != 0 {
+		t.Fatalf("version store leaked %d page versions", n)
+	}
+}
+
+// TestSnapshotIsolationGolden is the deterministic half: a scan opened
+// before a commit streams exactly the pre-commit rows even though the
+// writer commits — without blocking — while the scan is mid-stream, and
+// a scan opened after the commit sees all of it.
+func TestSnapshotIsolationGolden(t *testing.T) {
+	for _, rowPipe := range []bool{false, true} {
+		name := "batch"
+		if rowPipe {
+			name = "row"
+		}
+		t.Run(name, func(t *testing.T) {
+			const rows = 300
+			db, _ := openTestDB(t, rows, 1.0)
+			opts := ExecOptions{RowPipeline: rowPipe}
+
+			scan, err := QueryWith(db, `SELECT id, x, m FROM t`, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Pull a handful of rows so the scan is genuinely mid-stream
+			// with a pinned leaf below it.
+			seen := 0
+			for seen < 10 && scan.Next() {
+				seen++
+			}
+
+			// The writer commits while the scan is open. Under the old
+			// reader-latch design this UPDATE would deadlock against the
+			// scan's RLock; snapshot reads let it run to completion here.
+			if _, err := Execute(db, `UPDATE t SET x = 2`); err != nil {
+				t.Fatalf("writer blocked or failed mid-scan: %v", err)
+			}
+			if _, err := Execute(db,
+				`UPDATE t SET FloatArrayMax.Subarray(m, IntArray.Vector_1(0), IntArray.Vector_1(1), 1) = FloatArray.Vector_1(-1) WHERE id >= 0`); err != nil {
+				t.Fatalf("blob writer blocked or failed mid-scan: %v", err)
+			}
+			if _, err := Execute(db, `DELETE FROM t WHERE id >= 200`); err != nil {
+				t.Fatalf("delete blocked or failed mid-scan: %v", err)
+			}
+
+			// The in-flight scan still sees exactly the pre-commit state:
+			// every row, x = 1, m[0] = 0.
+			for scan.Next() {
+				seen++
+				row := scan.Row()
+				if row[1].F != 1.0 {
+					t.Fatalf("pre-commit scan saw post-commit x = %v at id %v", row[1].F, row[0].I)
+				}
+				a, err := core.Wrap(row[2].B)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, _ := a.Item(0); got != 0 {
+					t.Fatalf("pre-commit scan saw post-commit blob write m[0] = %v at id %v", got, row[0].I)
+				}
+			}
+			if err := scan.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if err := scan.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if seen != rows {
+				t.Fatalf("pre-commit scan yielded %d rows, want %d", seen, rows)
+			}
+
+			// A fresh scan sees the commits: 200 rows, x = 2, m[0] = -1.
+			res, err := RunWith(db, `SELECT COUNT(*), MIN(x), MAX(x) FROM t`, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Rows[0][0].I != 200 || res.Rows[0][1].F != 2 || res.Rows[0][2].F != 2 {
+				t.Fatalf("post-commit scan: count=%v min=%v max=%v, want 200/2/2",
+					res.Rows[0][0].I, res.Rows[0][1].F, res.Rows[0][2].F)
+			}
+			vals, err := RunWith(db, `SELECT m FROM t WHERE id = 0`, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := core.Wrap(vals.Rows[0][0].B)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, _ := a.Item(0); got != -1 {
+				t.Fatalf("post-commit scan missed blob write: m[0] = %v", got)
+			}
+			assertDrained(t, db)
+		})
+	}
+}
+
+// TestSharedSnapshotAcrossQueries pins one explicit snapshot across
+// several queries: statements committed after the snapshot was acquired
+// stay invisible to every query run against it.
+func TestSharedSnapshotAcrossQueries(t *testing.T) {
+	db, _ := openTestDB(t, 100, 1.0)
+	snap := db.Snapshot()
+	if _, err := Execute(db, `UPDATE t SET x = 5`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(db, `DELETE FROM t WHERE id < 50`); err != nil {
+		t.Fatal(err)
+	}
+	opts := ExecOptions{Snapshot: snap}
+	res, err := RunWith(db, `SELECT COUNT(*), MAX(x) FROM t`, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 100 || res.Rows[0][1].F != 1 {
+		t.Fatalf("snapshot query: count=%v max=%v, want 100/1", res.Rows[0][0].I, res.Rows[0][1].F)
+	}
+	// Same snapshot, second query — still the old view.
+	res, err = RunWith(db, `SELECT COUNT(*) FROM t WHERE id < 50`, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 50 {
+		t.Fatalf("snapshot query after delete: count=%v, want 50", res.Rows[0][0].I)
+	}
+	// A plain query sees the live state.
+	res, err = Run(db, `SELECT COUNT(*), MAX(x) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 50 || res.Rows[0][1].F != 5 {
+		t.Fatalf("live query: count=%v max=%v, want 50/5", res.Rows[0][0].I, res.Rows[0][1].F)
+	}
+	snap.Release()
+	assertDrained(t, db)
+}
+
+// TestRowsCloseMidStreamReleasesPins closes a streaming query mid-batch
+// while its Batch still owns zero-copy blob pins from MAX-column
+// resolves, and checks that Close releases every pin and the snapshot —
+// not just recycle on the next fill.
+func TestRowsCloseMidStreamReleasesPins(t *testing.T) {
+	db, _ := openTestDB(t, 200, 1.0)
+	// Small batches so the projection resolves MAX blobs zero-copy into
+	// batch-owned pins before we abandon the stream.
+	rows, err := QueryWith(db, `SELECT id, m FROM t`, ExecOptions{BatchSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatalf("no rows: %v", rows.Err())
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	assertDrained(t, db)
+
+	// Same through the row pipeline (pins held per-row rather than
+	// per-batch; the scan's leaf pin is the interesting release there).
+	rows, err = QueryWith(db, `SELECT id, m FROM t`, ExecOptions{RowPipeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatalf("no rows: %v", rows.Err())
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	assertDrained(t, db)
+}
+
+// TestSnapshotStressMixedScanDML is the racing half (run with -race):
+// writers continuously commit whole-table UPDATEs (every row's x moves
+// together, plus a blob subarray write) while readers run parallel
+// aggregate scans and zero-copy MAX projections. Snapshot isolation
+// makes "MIN(x) == MAX(x) and COUNT == rows" an invariant of every
+// read, no matter how many commits land mid-scan; any torn read fails
+// it. At the end, pins, snapshots and the version store drain to zero.
+func TestSnapshotStressMixedScanDML(t *testing.T) {
+	const rows = 400
+	db, _ := openTestDB(t, rows, 0)
+	opts := ExecOptions{Parallelism: 4, ParallelThreshold: 64, BatchSize: 64}
+
+	iters := 40
+	if testing.Short() {
+		iters = 8
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	fail := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	}
+
+	// Readers: the consistency invariant plus a mid-stream abandon that
+	// exercises early Close with live pins under concurrency.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				res, err := RunWith(db, `SELECT COUNT(*), MIN(x), MAX(x) FROM t`, opts)
+				if err != nil {
+					fail(fmt.Errorf("reader agg: %w", err))
+					return
+				}
+				count, lo, hi := res.Rows[0][0].I, res.Rows[0][1].F, res.Rows[0][2].F
+				if count != rows || lo != hi {
+					fail(fmt.Errorf("torn read: count=%d min=%v max=%v", count, lo, hi))
+					return
+				}
+				scan, err := QueryWith(db, `SELECT id, x, m FROM t`, opts)
+				if err != nil {
+					fail(fmt.Errorf("reader scan: %w", err))
+					return
+				}
+				first := -1.0
+				n := 0
+				for scan.Next() {
+					row := scan.Row()
+					if first < 0 {
+						first = row[1].F
+					} else if row[1].F != first {
+						fail(fmt.Errorf("torn scan: x=%v then %v", first, row[1].F))
+					}
+					n++
+					if r == 0 && n > 20 {
+						break // abandon mid-stream: Close must still drain pins
+					}
+				}
+				if err := scan.Err(); err != nil {
+					fail(fmt.Errorf("reader scan rows: %w", err))
+				}
+				if err := scan.Close(); err != nil {
+					fail(fmt.Errorf("reader scan close: %w", err))
+				}
+			}
+		}(r)
+	}
+
+	// Writer: one committed generation per iteration — every row's x
+	// advances together, and one blob gets an in-place subarray write.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if _, err := Execute(db, `UPDATE t SET x = x + 1`); err != nil {
+				fail(fmt.Errorf("writer update: %w", err))
+				return
+			}
+			if _, err := Execute(db, fmt.Sprintf(
+				`UPDATE t SET FloatArrayMax.Subarray(m, IntArray.Vector_1(4), IntArray.Vector_1(2), 1) = FloatArray.Vector_2(%d, %d) WHERE id = %d`,
+				i, i+1, i%rows)); err != nil {
+				fail(fmt.Errorf("writer subarray: %w", err))
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	assertDrained(t, db)
+
+	// Final state is the last generation everywhere.
+	res, err := Run(db, `SELECT COUNT(*), MIN(x), MAX(x) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != rows || res.Rows[0][1].F != float64(iters) || res.Rows[0][2].F != float64(iters) {
+		t.Fatalf("final state: count=%v min=%v max=%v, want %d/%d/%d",
+			res.Rows[0][0].I, res.Rows[0][1].F, res.Rows[0][2].F, rows, iters, iters)
+	}
+}

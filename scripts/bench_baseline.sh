@@ -14,7 +14,7 @@ run_bench() {
 {
 	run_bench 'BenchmarkWALAppend|BenchmarkWALGroupCommit' ./internal/wal
 	run_bench 'BenchmarkBufferPoolContention|BenchmarkScanResistantEviction' ./internal/pages
-	run_bench 'BenchmarkParallelAggregate' ./internal/sqlmini
+	run_bench 'BenchmarkParallelAggregate|BenchmarkMixedScanDML' ./internal/sqlmini
 	run_bench 'BenchmarkReadAll1MB|BenchmarkPartialRead4kOf1MB|BenchmarkReadRunsStencil|BenchmarkReadRunsPinnedStencil|BenchmarkCodec' ./internal/blob
 	run_bench 'BenchmarkSubarrayPartialVsWholeBlob' . 1x
 	# The codec ratio table prints parseable "ratio-table:" lines with the
