@@ -1,0 +1,47 @@
+package pages
+
+import "testing"
+
+// Probe: a snapshot acquired between PreparePublish and FinishPublish
+// (legal, since readers never hold the write lock) must still resolve
+// every page. droppableLocked has no "superseding commit is published"
+// check, so with no other snapshot active the pre-image is retired
+// inside PreparePublish and the mid-window snapshot fails.
+func TestProbePublishWindowSnapshot(t *testing.T) {
+	bp := NewBufferPool(NewMemDisk(), 16)
+	f, err := bp.NewPage(TypeBTreeLeaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := f.Page.ID
+	bp.Unpin(f, true)
+
+	// Commit 1: publish the page so it has a committed version.
+	c1, _ := bp.BeginCapture()
+	f, err = bp.FetchForWrite(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Page.Buf[100] = 1
+	bp.Unpin(f, true)
+	bp.EndCapture(c1)
+	bp.FinishPublish(bp.PreparePublish(c1))
+
+	// Commit 2: stop between PreparePublish and FinishPublish.
+	c2, _ := bp.BeginCapture()
+	f, err = bp.FetchForWrite(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Page.Buf[100] = 2
+	bp.Unpin(f, true)
+	bp.EndCapture(c2)
+	tag := bp.PreparePublish(c2)
+
+	sn := bp.AcquireSnapshot() // concurrent reader lands here
+	defer sn.Release()
+	if _, err := sn.Fetch(id); err != nil {
+		t.Fatalf("snapshot acquired mid-publish cannot read page: %v", err)
+	}
+	bp.FinishPublish(tag)
+}
