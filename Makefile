@@ -3,7 +3,7 @@
 
 GOBIN := $(shell go env GOPATH)/bin
 
-.PHONY: build test race lint bench bench-baseline
+.PHONY: build test race lint bench bench-ingest bench-baseline
 
 build:
 	go build ./...
@@ -36,6 +36,14 @@ bench:
 	go test -run='^$$' -bench='BenchmarkBufferPoolContention' -benchtime=300ms ./internal/pages
 	go test -run='^$$' -bench='BenchmarkParallelAggregate|BenchmarkMixedScanDML' -benchtime=300ms ./internal/sqlmini
 	go test -run='^$$' -bench='BenchmarkReadAll1MB|BenchmarkPartialRead4kOf1MB|BenchmarkReadRunsStencil|BenchmarkReadRunsPinnedStencil' -benchtime=300ms ./internal/blob
+	$(MAKE) bench-ingest
+
+# Ingest and partitioned-scan throughput: the COPY path vs the INSERT
+# loop (rows/s, MB/s) and a Morton box query on the partitioned layout
+# vs an unpartitioned full scan (pages/op).
+bench-ingest:
+	go test -run='^$$' -bench='BenchmarkBulkLoad' -benchtime=2x ./internal/engine
+	go test -run='^$$' -bench='BenchmarkPartitionedScanSpeedup' -benchtime=300ms ./internal/partition
 
 # Regenerate the checked-in benchmark reference point. Run on a quiet
 # machine; the JSON records ns/op per benchmark plus the host's Go

@@ -36,9 +36,11 @@ func main() {
 	fmt.Println(`sqlarray shell — one statement per line (SELECT, INSERT, UPDATE, DELETE;
 UPDATE supports in-place subarray assignment: SET v[1:3] = ...);
 \col <name> <schema> maps a column for subscript sugar; .stats prints the
-last statement's buffer-pool, blob and WAL I/O; .checkpoint flushes and
-bounds recovery; \q quits. A table "demo"(id BIGINT, v VARBINARY short
-float 5-vector) is preloaded with 10 rows.`)
+last statement's buffer-pool, blob and WAL I/O; .load <table> <file.csv>
+bulk-loads a headerless CSV file (INT64/FLOAT64 fields plain, binary
+columns hex, empty = NULL); .checkpoint flushes and bounds recovery;
+\q quits. A table "demo"(id BIGINT, v VARBINARY short float 5-vector) is
+preloaded with 10 rows.`)
 	sc := bufio.NewScanner(os.Stdin)
 	var last queryStats
 	haveLast := false
@@ -68,6 +70,24 @@ float 5-vector) is preloaded with 10 rows.`)
 			ws := db.WAL().Stats()
 			fmt.Printf("checkpoint done: WAL at LSN %d, %d segment(s), %d checkpoint(s) total\n",
 				db.WAL().DurableLSN(), db.WAL().Segments(), ws.Checkpoints)
+			continue
+		case strings.HasPrefix(line, ".load ") || strings.HasPrefix(line, `\load `):
+			parts := strings.Fields(line)
+			if len(parts) != 3 {
+				fmt.Println("usage: .load <table> <file.csv>")
+				continue
+			}
+			p0, b0, w0 := db.Pool().Stats(), db.Blobs().Stats(), db.WAL().Stats()
+			st, err := loadCSV(db, parts[1], parts[2])
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("loaded %d rows: %s on-page, %s blob data, %d leaf + %d blob pages\n",
+				st.Rows, fmtBytes(uint64(st.RowBytes)), fmtBytes(uint64(st.BlobBytes)),
+				st.LeafPages, st.BlobPages)
+			last = diffStats(p0, b0, w0, db.Pool().Stats(), db.Blobs().Stats(), db.WAL().Stats())
+			haveLast = true
 			continue
 		case strings.HasPrefix(line, `\col `):
 			parts := strings.Fields(line)
@@ -119,6 +139,7 @@ type queryStats struct {
 	compWritten, compRead                 uint64
 	logicalWritten, logicalRead           uint64
 	walRecords, walBytes, walSyncs        uint64
+	walPiggybacks                         uint64
 }
 
 func diffStats(p0 pages.Stats, b0 blob.Stats, w0 wal.Stats, p1 pages.Stats, b1 blob.Stats, w1 wal.Stats) queryStats {
@@ -144,6 +165,7 @@ func diffStats(p0 pages.Stats, b0 blob.Stats, w0 wal.Stats, p1 pages.Stats, b1 b
 		walRecords:      w1.Records - w0.Records,
 		walBytes:        w1.BytesLogged - w0.BytesLogged,
 		walSyncs:        w1.Syncs - w0.Syncs,
+		walPiggybacks:   w1.GroupCommitPiggybacks - w0.GroupCommitPiggybacks,
 	}
 }
 
@@ -172,8 +194,8 @@ func (q queryStats) print() {
 			fmtBytes(q.compRead), fmtBytes(q.logicalRead),
 			float64(q.logicalRead)/float64(q.compRead))
 	}
-	fmt.Printf("WAL:         %d records, %s logged, %d syncs\n",
-		q.walRecords, fmtBytes(q.walBytes), q.walSyncs)
+	fmt.Printf("WAL:         %d records, %s logged, %d syncs, %d group-commit piggybacks\n",
+		q.walRecords, fmtBytes(q.walBytes), q.walSyncs, q.walPiggybacks)
 }
 
 func fmtBytes(n uint64) string {
@@ -184,6 +206,17 @@ func fmtBytes(n uint64) string {
 		return fmt.Sprintf("%.1f kB", float64(n)/(1<<10))
 	}
 	return fmt.Sprintf("%d B", n)
+}
+
+// loadCSV bulk-loads a headerless CSV file through the parallel parse
+// pipeline and the COPY path.
+func loadCSV(db *sqlarray.Database, table, path string) (sqlarray.BulkStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return sqlarray.BulkStats{}, err
+	}
+	defer f.Close()
+	return db.CopyCSV(table, bufio.NewReader(f), sqlarray.CSVOptions{}, sqlarray.BulkOptions{})
 }
 
 func createDemoTable(db *sqlarray.Database) error {

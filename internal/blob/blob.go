@@ -281,71 +281,10 @@ func (s *Store) loadChunks(ref Ref) ([]chunkInfo, bool, error) {
 
 // Write stores data as a new blob in the raw (uncompressed) chunk
 // format and returns its Ref. WriteCompressed is the compressing
-// variant; the engine picks per element type.
+// variant; the engine picks per element type. Pages come from the free
+// list (see fresh.go for the bulk-ingest fresh-page variant).
 func (s *Store) Write(data []byte) (Ref, error) {
-	if len(data) == 0 {
-		return Ref{}, nil
-	}
-	nChunks := (len(data) + ChunkSize - 1) / ChunkSize
-	chunkIDs := make([]pages.PageID, 0, nChunks)
-	for off := 0; off < len(data); off += ChunkSize {
-		end := off + ChunkSize
-		if end > len(data) {
-			end = len(data)
-		}
-		f, err := s.allocPage(pages.TypeBlobData)
-		if err != nil {
-			return Ref{}, err
-		}
-		n := copy(f.Page.Body(), data[off:end])
-		f.Page.SetUsed(n)
-		chunkIDs = append(chunkIDs, f.Page.ID)
-		s.bp.Unpin(f, true)
-		s.stats.chunksWritten.Add(1)
-		s.stats.bytesWritten.Add(uint64(n))
-	}
-	root, err := s.writeDirectory(chunkIDs)
-	if err != nil {
-		return Ref{}, err
-	}
-	return Ref{Root: root, Length: int64(len(data))}, nil
-}
-
-// writeDirectory lays the chunk id list into a chain of directory pages
-// and returns the first page id.
-func (s *Store) writeDirectory(ids []pages.PageID) (pages.PageID, error) {
-	var first pages.PageID
-	var prevFrame *pages.Frame
-	for off := 0; off < len(ids); off += idsPerDir {
-		end := off + idsPerDir
-		if end > len(ids) {
-			end = len(ids)
-		}
-		f, err := s.allocPage(pages.TypeBlobTree)
-		if err != nil {
-			if prevFrame != nil {
-				s.bp.Unpin(prevFrame, true)
-			}
-			return 0, err
-		}
-		body := f.Page.Body()
-		for i, id := range ids[off:end] {
-			binary.LittleEndian.PutUint32(body[4*i:], uint32(id))
-		}
-		f.Page.SetUsed((end - off) * 4)
-		if first == pages.InvalidPageID {
-			first = f.Page.ID
-		}
-		if prevFrame != nil {
-			prevFrame.Page.SetNext(f.Page.ID)
-			s.bp.Unpin(prevFrame, true)
-		}
-		prevFrame = f
-	}
-	if prevFrame != nil {
-		s.bp.Unpin(prevFrame, true)
-	}
-	return first, nil
+	return s.writeRaw(data, s.reuseSink())
 }
 
 // encBlock is one encoded block staged before page packing: header
@@ -441,84 +380,7 @@ func fillChunkPage(p *pages.Page, c Codec, blocks []encBlock, stage []byte) int 
 // the blob is stored raw instead — compression never costs pages, and
 // incompressible single-chunk blobs keep the zero-copy resolve path.
 func (s *Store) WriteCompressed(data []byte, c Codec) (Ref, error) {
-	if c.Kind == CodecNone || c.Kind > CodecXOR {
-		return s.Write(data)
-	}
-	if len(data) == 0 {
-		return Ref{}, nil
-	}
-	if c.Width < 1 || c.Width > 255 {
-		c.Width = 1
-	}
-	if c.Phase < 0 || c.Phase > 7 {
-		c.Phase = 0
-	}
-	scr := scratchPool.Get().(*codecScratch)
-	defer scratchPool.Put(scr)
-	blocks, stage := encodeBlocks(data, c, scr, nil)
-	plan := packBlocks(blocks)
-	if len(plan) >= NumChunks(int64(len(data))) {
-		return s.Write(data)
-	}
-	chunks := make([]chunkInfo, 0, len(plan))
-	var off int64
-	for _, pk := range plan {
-		f, err := s.allocPage(pages.TypeBlobData)
-		if err != nil {
-			return Ref{}, err
-		}
-		w := fillChunkPage(&f.Page, c, blocks[pk.first:pk.first+pk.n], stage)
-		chunks = append(chunks, chunkInfo{id: f.Page.ID, off: off, n: pk.logical})
-		off += int64(pk.logical)
-		s.bp.Unpin(f, true)
-		s.stats.chunksWritten.Add(1)
-		s.stats.compressedBytesWritten.Add(uint64(w))
-	}
-	s.stats.bytesWritten.Add(uint64(len(data)))
-	root, err := s.writeCompressedDirectory(chunks)
-	if err != nil {
-		return Ref{}, err
-	}
-	return Ref{Root: root, Length: int64(len(data))}, nil
-}
-
-// writeCompressedDirectory lays 8-byte (page id, logical length)
-// entries into a flagged directory chain and returns the first page id.
-func (s *Store) writeCompressedDirectory(chunks []chunkInfo) (pages.PageID, error) {
-	var first pages.PageID
-	var prevFrame *pages.Frame
-	for off := 0; off < len(chunks); off += entriesPerDirC {
-		end := off + entriesPerDirC
-		if end > len(chunks) {
-			end = len(chunks)
-		}
-		f, err := s.allocPage(pages.TypeBlobTree)
-		if err != nil {
-			if prevFrame != nil {
-				s.bp.Unpin(prevFrame, true)
-			}
-			return 0, err
-		}
-		f.Page.SetFlags(pages.FlagCompressedBlob)
-		body := f.Page.Body()
-		for i, ci := range chunks[off:end] {
-			binary.LittleEndian.PutUint32(body[8*i:], uint32(ci.id))
-			binary.LittleEndian.PutUint32(body[8*i+4:], uint32(ci.n))
-		}
-		f.Page.SetUsed((end - off) * 8)
-		if first == pages.InvalidPageID {
-			first = f.Page.ID
-		}
-		if prevFrame != nil {
-			prevFrame.Page.SetNext(f.Page.ID)
-			s.bp.Unpin(prevFrame, true)
-		}
-		prevFrame = f
-	}
-	if prevFrame != nil {
-		s.bp.Unpin(prevFrame, true)
-	}
-	return first, nil
+	return s.writeCompressedVia(data, c, s.reuseSink())
 }
 
 // errStopVisit short-circuits a block walk once past the wanted range.

@@ -1,0 +1,233 @@
+package blob
+
+import (
+	"encoding/binary"
+
+	"sqlarray/internal/pages"
+)
+
+// Page sinks: blob writes are parameterized over where pages come from
+// and what happens when one is complete, so the transactional path and
+// the bulk-ingest path share one layout implementation.
+//
+//   - The reuse sink (Write/WriteCompressed) allocates through the free
+//     list — which mutates shared committed pages (the free-list head
+//     and the meta page), so it is only legal inside a write capture —
+//     and simply unpins completed pages; the enclosing Tx commit logs
+//     them from the capture set.
+//   - The fresh sink (WriteFresh) allocates brand-new pages only, never
+//     touching the free list, and hands each completed page to the
+//     caller while still pinned so its WAL image can be streamed out
+//     immediately. That makes it safe to run OUTSIDE a capture: no
+//     shared state is written, and logged pages become evictable as
+//     soon as the log syncs past them — bounded memory for arbitrarily
+//     large loads.
+type pageSink struct {
+	alloc  func(typ pages.PageType) (*pages.Frame, error)
+	finish func(f *pages.Frame) error
+}
+
+// reuseSink is the transactional allocation policy (free list first).
+func (s *Store) reuseSink() pageSink {
+	return pageSink{
+		alloc: s.allocPage,
+		finish: func(f *pages.Frame) error {
+			s.bp.Unpin(f, true)
+			return nil
+		},
+	}
+}
+
+// freshSink allocates new pages and logs them via onPage while pinned.
+func (s *Store) freshSink(onPage func(f *pages.Frame) error) pageSink {
+	return pageSink{
+		alloc: func(typ pages.PageType) (*pages.Frame, error) {
+			return s.bp.NewPage(typ)
+		},
+		finish: func(f *pages.Frame) error {
+			var err error
+			if onPage != nil {
+				err = onPage(f)
+			}
+			s.bp.Unpin(f, true)
+			return err
+		},
+	}
+}
+
+// WriteFresh stores data as a new blob on freshly allocated pages only,
+// bypassing the free list, compressing under c (CodecNone stores raw,
+// as does any blob the codec fails to shrink). onPage is invoked for
+// every completed page while it is still pinned — the bulk loader
+// streams the page image into the WAL there — and may be nil.
+func (s *Store) WriteFresh(data []byte, c Codec, onPage func(f *pages.Frame) error) (Ref, error) {
+	sink := s.freshSink(onPage)
+	if c.Kind == CodecNone || c.Kind > CodecXOR {
+		return s.writeRaw(data, sink)
+	}
+	return s.writeCompressedVia(data, c, sink)
+}
+
+// writeRaw is Write parameterized over the page sink.
+func (s *Store) writeRaw(data []byte, sink pageSink) (Ref, error) {
+	if len(data) == 0 {
+		return Ref{}, nil
+	}
+	nChunks := (len(data) + ChunkSize - 1) / ChunkSize
+	chunkIDs := make([]pages.PageID, 0, nChunks)
+	for off := 0; off < len(data); off += ChunkSize {
+		end := off + ChunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		f, err := sink.alloc(pages.TypeBlobData)
+		if err != nil {
+			return Ref{}, err
+		}
+		n := copy(f.Page.Body(), data[off:end])
+		f.Page.SetUsed(n)
+		chunkIDs = append(chunkIDs, f.Page.ID)
+		if err := sink.finish(f); err != nil {
+			return Ref{}, err
+		}
+		s.stats.chunksWritten.Add(1)
+		s.stats.bytesWritten.Add(uint64(n))
+	}
+	root, err := s.writeDirectoryVia(chunkIDs, sink)
+	if err != nil {
+		return Ref{}, err
+	}
+	return Ref{Root: root, Length: int64(len(data))}, nil
+}
+
+// writeDirectoryVia lays the chunk id list into a chain of directory
+// pages and returns the first page id.
+func (s *Store) writeDirectoryVia(ids []pages.PageID, sink pageSink) (pages.PageID, error) {
+	var first pages.PageID
+	var prevFrame *pages.Frame
+	for off := 0; off < len(ids); off += idsPerDir {
+		end := off + idsPerDir
+		if end > len(ids) {
+			end = len(ids)
+		}
+		f, err := sink.alloc(pages.TypeBlobTree)
+		if err != nil {
+			if prevFrame != nil {
+				s.bp.Unpin(prevFrame, true)
+			}
+			return 0, err
+		}
+		body := f.Page.Body()
+		for i, id := range ids[off:end] {
+			binary.LittleEndian.PutUint32(body[4*i:], uint32(id))
+		}
+		f.Page.SetUsed((end - off) * 4)
+		if first == pages.InvalidPageID {
+			first = f.Page.ID
+		}
+		if prevFrame != nil {
+			prevFrame.Page.SetNext(f.Page.ID)
+			if err := sink.finish(prevFrame); err != nil {
+				s.bp.Unpin(f, true)
+				return 0, err
+			}
+		}
+		prevFrame = f
+	}
+	if prevFrame != nil {
+		if err := sink.finish(prevFrame); err != nil {
+			return 0, err
+		}
+	}
+	return first, nil
+}
+
+// writeCompressedVia is WriteCompressed parameterized over the page
+// sink.
+func (s *Store) writeCompressedVia(data []byte, c Codec, sink pageSink) (Ref, error) {
+	if c.Kind == CodecNone || c.Kind > CodecXOR {
+		return s.writeRaw(data, sink)
+	}
+	if len(data) == 0 {
+		return Ref{}, nil
+	}
+	if c.Width < 1 || c.Width > 255 {
+		c.Width = 1
+	}
+	if c.Phase < 0 || c.Phase > 7 {
+		c.Phase = 0
+	}
+	scr := scratchPool.Get().(*codecScratch)
+	defer scratchPool.Put(scr)
+	blocks, stage := encodeBlocks(data, c, scr, nil)
+	plan := packBlocks(blocks)
+	if len(plan) >= NumChunks(int64(len(data))) {
+		return s.writeRaw(data, sink)
+	}
+	chunks := make([]chunkInfo, 0, len(plan))
+	var off int64
+	for _, pk := range plan {
+		f, err := sink.alloc(pages.TypeBlobData)
+		if err != nil {
+			return Ref{}, err
+		}
+		w := fillChunkPage(&f.Page, c, blocks[pk.first:pk.first+pk.n], stage)
+		chunks = append(chunks, chunkInfo{id: f.Page.ID, off: off, n: pk.logical})
+		off += int64(pk.logical)
+		if err := sink.finish(f); err != nil {
+			return Ref{}, err
+		}
+		s.stats.chunksWritten.Add(1)
+		s.stats.compressedBytesWritten.Add(uint64(w))
+	}
+	s.stats.bytesWritten.Add(uint64(len(data)))
+	root, err := s.writeCompressedDirectoryVia(chunks, sink)
+	if err != nil {
+		return Ref{}, err
+	}
+	return Ref{Root: root, Length: int64(len(data))}, nil
+}
+
+// writeCompressedDirectoryVia lays 8-byte (page id, logical length)
+// entries into a flagged directory chain and returns the first page id.
+func (s *Store) writeCompressedDirectoryVia(chunks []chunkInfo, sink pageSink) (pages.PageID, error) {
+	var first pages.PageID
+	var prevFrame *pages.Frame
+	for off := 0; off < len(chunks); off += entriesPerDirC {
+		end := off + entriesPerDirC
+		if end > len(chunks) {
+			end = len(chunks)
+		}
+		f, err := sink.alloc(pages.TypeBlobTree)
+		if err != nil {
+			if prevFrame != nil {
+				s.bp.Unpin(prevFrame, true)
+			}
+			return 0, err
+		}
+		f.Page.SetFlags(pages.FlagCompressedBlob)
+		body := f.Page.Body()
+		for i, ci := range chunks[off:end] {
+			binary.LittleEndian.PutUint32(body[8*i:], uint32(ci.id))
+			binary.LittleEndian.PutUint32(body[8*i+4:], uint32(ci.n))
+		}
+		f.Page.SetUsed((end - off) * 8)
+		if first == pages.InvalidPageID {
+			first = f.Page.ID
+		}
+		if prevFrame != nil {
+			prevFrame.Page.SetNext(f.Page.ID)
+			if err := sink.finish(prevFrame); err != nil {
+				s.bp.Unpin(f, true)
+				return 0, err
+			}
+		}
+		prevFrame = f
+	}
+	if prevFrame != nil {
+		if err := sink.finish(prevFrame); err != nil {
+			return 0, err
+		}
+	}
+	return first, nil
+}

@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"testing"
+
+	"sqlarray/internal/pages"
+	"sqlarray/internal/wal"
+)
+
+func TestCSVSourceLoad(t *testing.T) {
+	db := openDB(t, pages.NewMemDisk(), wal.NewMemStorage())
+	tbl, err := db.CreateTable("t", walTestSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := bigArray(t, 300, 5)
+	var sb strings.Builder
+	sb.WriteString("id,x,m\n") // header line
+	const n = 1000
+	for i := 0; i < n; i++ {
+		m := ""
+		if i == 42 {
+			m = hex.EncodeToString(arr.Bytes())
+		}
+		fmt.Fprintf(&sb, "%d,%g,%s\n", i, float64(i)*1.5, m)
+	}
+	src := NewCSVSource(strings.NewReader(sb.String()), tbl.Schema(), CSVOptions{Workers: 4, Header: true})
+	st, err := tbl.BulkLoad(src, BulkOptions{})
+	if err != nil {
+		t.Fatalf("BulkLoad over CSV: %v", err)
+	}
+	if st.Rows != n {
+		t.Fatalf("rows = %d, want %d", st.Rows, n)
+	}
+	vals, err := tbl.Get(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[1].F != 10.5 {
+		t.Fatalf("x = %v, want 10.5", vals[1].F)
+	}
+	if !vals[2].IsNull() {
+		t.Fatalf("m should be NULL")
+	}
+	got := fetchArray(t, tbl, 42, 2)
+	if got.FloatAt(299) != arr.FloatAt(299) {
+		t.Fatalf("blob round-trip diverged")
+	}
+	verifyInvariants(t, db, "t")
+}
+
+func TestCSVSourceParseError(t *testing.T) {
+	db := openDB(t, pages.NewMemDisk(), wal.NewMemStorage())
+	tbl, err := db.CreateTable("t", walTestSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := "1,0.5,\n2,not-a-number,\n3,1.5,\n"
+	src := NewCSVSource(strings.NewReader(csv), tbl.Schema(), CSVOptions{Workers: 2})
+	_, err = tbl.BulkLoad(src, BulkOptions{})
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want parse failure naming line 2", err)
+	}
+	if got := tbl.Rows(); got != 0 {
+		t.Fatalf("rows after failed CSV load = %d, want 0", got)
+	}
+	verifyInvariants(t, db, "t")
+}

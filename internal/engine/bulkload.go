@@ -1,0 +1,269 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"sqlarray/internal/blob"
+	"sqlarray/internal/btree"
+	"sqlarray/internal/pages"
+)
+
+// Bulk ingest: the COPY path. A row-at-a-time INSERT session pays for a
+// root descent, copy-on-write of the whole leaf path, a full-page log
+// image of every touched page, a commit record, and (by default) an
+// fsync — per row. BulkLoad amortizes all of it: rows are staged and
+// sorted, blob payloads and row images stream onto freshly allocated
+// pages packed full and logged exactly once, the WAL syncs every few
+// hundred pages instead of every row, and a single commit record grafts
+// the finished leaves onto the table's right spine and publishes the
+// catalog delta.
+//
+// Durability is all-or-nothing without any extra machinery: recovery
+// only applies page images that a later commit record covers, so a
+// crash mid-load finds an uncommitted tail, truncates it, and the table
+// is exactly as it was before the load began. The fresh pages a died
+// load may have flushed are unreachable garbage, never visible state.
+//
+// The load holds the database write lock for its whole duration —
+// bulk ingest is still single-writer — but snapshot readers are never
+// blocked: phase 1 touches only fresh pages, and phase 2 is an ordinary
+// capture-backed commit.
+
+// BulkSource yields rows for a bulk load in schema order. Next returns
+// io.EOF after the last row. Values need only stay valid until the next
+// call — the loader copies what it keeps.
+type BulkSource interface {
+	Next() ([]Value, error)
+}
+
+// ValuesSource adapts an in-memory row slice to BulkSource.
+type ValuesSource struct {
+	rows [][]Value
+	i    int
+}
+
+// NewValuesSource returns a BulkSource over rows.
+func NewValuesSource(rows [][]Value) *ValuesSource {
+	return &ValuesSource{rows: rows}
+}
+
+// Next implements BulkSource.
+func (s *ValuesSource) Next() ([]Value, error) {
+	if s.i >= len(s.rows) {
+		return nil, io.EOF
+	}
+	r := s.rows[s.i]
+	s.i++
+	return r, nil
+}
+
+// BulkOptions tunes a bulk load. The zero value is ready to use.
+type BulkOptions struct {
+	// SyncEvery is how many freshly written pages are logged between
+	// WAL syncs during staging. Each sync makes the pages behind it
+	// evictable, bounding the dirty working set; more frequent syncs
+	// trade throughput for a smaller bound. Default 256 (2 MB of log).
+	SyncEvery int
+}
+
+const defaultBulkSyncEvery = 256
+
+// BulkStats reports what a completed load wrote.
+type BulkStats struct {
+	Rows      int64 // rows ingested
+	RowBytes  int64 // on-page row-image bytes
+	BlobBytes int64 // out-of-page blob payload bytes
+	LeafPages int   // fresh leaf pages written
+	BlobPages int   // fresh blob chunk + directory pages written
+}
+
+// ErrBulkOverlap reports a bulk load whose keys are not strictly above
+// the table's current maximum. The bulk path writes packed leaves and
+// grafts them after the existing rightmost leaf, so it can only append;
+// interleaving loads go through INSERT.
+var ErrBulkOverlap = errors.New("engine: bulk load keys must exceed every existing key")
+
+// pendingRow is a staged row: key plus its final on-page image (MAX
+// columns already replaced by blob refs).
+type pendingRow struct {
+	key int64
+	raw []byte
+}
+
+// BulkLoad ingests every row src yields into the table and commits them
+// as one write session. The table must be empty or every new key must
+// be strictly greater than the current maximum key; duplicate keys in
+// the source are rejected. On any error the table is left exactly as it
+// was (fresh pages already written become unreferenced garbage).
+func (t *Table) BulkLoad(src BulkSource, opts BulkOptions) (BulkStats, error) {
+	db := t.db
+	syncEvery := opts.SyncEvery
+	if syncEvery <= 0 {
+		syncEvery = defaultBulkSyncEvery
+	}
+
+	db.writeMu.Lock()
+	locked := true
+	defer func() {
+		if locked {
+			db.writeMu.Unlock()
+		}
+	}()
+
+	var stats BulkStats
+
+	// The live tree is the writer's view; under writeMu it is stable.
+	_, maxOld, nonEmpty, err := t.tree.Bounds()
+	if err != nil {
+		return stats, err
+	}
+	prevLeaf, err := t.tree.RightmostLeaf()
+	if err != nil {
+		return stats, err
+	}
+
+	// onPage streams every completed fresh page's image into the WAL
+	// while the page is still pinned, syncing every syncEvery pages so
+	// the logged prefix becomes evictable — the load's dirty working
+	// set stays bounded no matter how large the ingest is.
+	pagesDone := 0
+	onPage := func(f *pages.Frame) error {
+		pagesDone++
+		if db.wal == nil {
+			return nil
+		}
+		if err := db.logFrame(f); err != nil {
+			return err
+		}
+		if pagesDone%syncEvery == 0 {
+			return db.wal.Sync()
+		}
+		return nil
+	}
+
+	// Phase 1a: pull and stage rows. Blob payloads (the bulk of the
+	// bytes in array workloads) stream to fresh chunk pages immediately
+	// — their page order does not depend on key order — while the small
+	// row images accumulate for the sort.
+	pending, err := t.stageRows(src, onPage, &stats)
+	if err != nil {
+		return stats, err
+	}
+	if len(pending) == 0 {
+		return stats, nil
+	}
+
+	// Phase 1b: sort by key, reject duplicates and overlap. The bulk
+	// path is append-only: packed leaves graft after the current
+	// rightmost leaf, so every new key must clear the old maximum.
+	sort.Slice(pending, func(i, j int) bool { return pending[i].key < pending[j].key })
+	for i := 1; i < len(pending); i++ {
+		if pending[i].key == pending[i-1].key {
+			return stats, fmt.Errorf("%w: %d", btree.ErrDuplicate, pending[i].key)
+		}
+	}
+	if nonEmpty && pending[0].key <= maxOld {
+		return stats, fmt.Errorf("%w: new key %d <= existing max %d",
+			ErrBulkOverlap, pending[0].key, maxOld)
+	}
+
+	// Phase 1c: pack the sorted stream into fresh leaves, logged as
+	// they complete.
+	stats.BlobPages = pagesDone
+	lw := btree.NewLeafWriter(db.bp, prevLeaf, onPage)
+	for _, pr := range pending {
+		if err := lw.Add(pr.key, pr.raw); err != nil {
+			lw.Abandon()
+			return stats, err
+		}
+	}
+	leaves, err := lw.Finish()
+	if err != nil {
+		return stats, err
+	}
+	stats.LeafPages = len(leaves)
+
+	// Phase 2: graft the leaves onto the tree and commit. This is an
+	// ordinary capture-backed session — the right-spine pages it COWs
+	// are logged by Commit, the single commit record carries the
+	// catalog delta, and publish flips snapshot visibility atomically.
+	tx, err := db.beginTxLocked()
+	if err != nil {
+		return stats, err
+	}
+	locked = false // the session owns the unlock now
+	tx.touch(t)
+	if err := t.tree.GraftAppend(prevLeaf, leaves, len(pending)); err != nil {
+		tx.Abort()
+		return stats, err
+	}
+	t.rows.Add(stats.Rows)
+	t.rowBytes.Add(stats.RowBytes)
+	t.blobBytes.Add(stats.BlobBytes)
+	if err := tx.Commit(); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// stageRows drains src: MAX columns are written to fresh blob pages and
+// replaced by their refs, the row image is encoded, and the (key, image)
+// pairs are returned for sorting. Keys are pre-checked against nothing
+// here — ordering and overlap are the caller's phase 1b.
+func (t *Table) stageRows(src BulkSource, onPage func(*pages.Frame) error, stats *BulkStats) ([]pendingRow, error) {
+	db := t.db
+	var pending []pendingRow
+	for {
+		vals, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			return pending, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(vals) != len(t.schema.Columns) {
+			return nil, fmt.Errorf("%w: %d values for %d columns",
+				ErrTypeError, len(vals), len(t.schema.Columns))
+		}
+		key, err := vals[t.schema.Key].AsInt()
+		if err != nil {
+			return nil, fmt.Errorf("engine: clustered key: %w", err)
+		}
+		stored := vals
+		copied := false
+		for i, c := range t.schema.Columns {
+			if c.Type != ColVarBinaryMax || vals[i].IsNull() {
+				continue
+			}
+			if !copied {
+				stored = append([]Value(nil), vals...)
+				copied = true
+			}
+			codec := blob.Codec{}
+			if db.compress {
+				codec = codecForBlob(vals[i].B)
+			}
+			ref, err := db.blobs.WriteFresh(vals[i].B, codec, onPage)
+			if err != nil {
+				return nil, fmt.Errorf("engine: writing MAX column %q: %w", c.Name, err)
+			}
+			enc := make([]byte, blob.RefSize)
+			ref.Encode(enc)
+			stored[i] = BinaryMaxValue(enc)
+			stats.BlobBytes += int64(len(vals[i].B))
+		}
+		raw, err := encodeRow(&t.schema, stored)
+		if err != nil {
+			return nil, err
+		}
+		if len(raw) > btree.MaxValueSize {
+			return nil, fmt.Errorf("%w: %d bytes", ErrRowTooWide, len(raw))
+		}
+		pending = append(pending, pendingRow{key: key, raw: raw})
+		stats.Rows++
+		stats.RowBytes += int64(len(raw))
+	}
+}

@@ -1,0 +1,386 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"sqlarray/internal/btree"
+	"sqlarray/internal/pages"
+	"sqlarray/internal/wal"
+)
+
+// bulkRows builds n rows of the walTestSchema with keys base..base+n-1,
+// every third row carrying a multi-chunk MAX array.
+func bulkRows(t *testing.T, base int64, n int) [][]Value {
+	t.Helper()
+	rows := make([][]Value, n)
+	for i := 0; i < n; i++ {
+		k := base + int64(i)
+		m := Null
+		if i%3 == 0 {
+			m = BinaryMaxValue(bigArray(t, arrElems, float64(k)*10).Bytes())
+		}
+		rows[i] = []Value{IntValue(k), FloatValue(float64(k) / 2), m}
+	}
+	return rows
+}
+
+// TestBulkLoadMatchesInsert loads one table through BulkLoad and a twin
+// through row-at-a-time Insert, then checks the two read identically.
+func TestBulkLoadMatchesInsert(t *testing.T) {
+	db := openDB(t, pages.NewMemDisk(), wal.NewMemStorage())
+	bulk, err := db.CreateTable("bulk", walTestSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := db.CreateTable("slow", walTestSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 400
+	rows := bulkRows(t, 0, n)
+	// Feed the loader in shuffled order to exercise the sort stage.
+	shuffled := make([][]Value, n)
+	for i, r := range rows {
+		shuffled[(i*7)%n] = r
+	}
+	st, err := bulk.BulkLoad(NewValuesSource(shuffled), BulkOptions{SyncEvery: 8})
+	if err != nil {
+		t.Fatalf("BulkLoad: %v", err)
+	}
+	if st.Rows != n {
+		t.Fatalf("stats.Rows = %d, want %d", st.Rows, n)
+	}
+	if st.LeafPages == 0 || st.BlobPages == 0 {
+		t.Fatalf("stats pages = %+v, want both kinds written", st)
+	}
+	for _, r := range rows {
+		if err := slow.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got, want := bulk.Rows(), slow.Rows(); got != want {
+		t.Fatalf("rows %d, want %d", got, want)
+	}
+	bs, err := bulk.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := slow.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.Rows != ss.Rows || bs.RowBytes != ss.RowBytes || bs.BlobBytes != ss.BlobBytes {
+		t.Fatalf("stats diverge: bulk %+v, insert %+v", bs, ss)
+	}
+	if bs.LeafPages > ss.LeafPages {
+		t.Fatalf("bulk wrote %d leaves, insert path %d — packed leaves must not be worse", bs.LeafPages, ss.LeafPages)
+	}
+	// Row-by-row equivalence, forward scan order and blob contents.
+	var keys []int64
+	err = bulk.Scan(func(key int64, row *RowView) (bool, error) {
+		keys = append(keys, key)
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != n {
+		t.Fatalf("scanned %d rows, want %d", len(keys), n)
+	}
+	for i, k := range keys {
+		if k != int64(i) {
+			t.Fatalf("scan order broken at %d: key %d", i, k)
+		}
+	}
+	for _, k := range []int64{0, 3, n - 1, n / 2} {
+		bv, err := bulk.Get(k)
+		if err != nil {
+			t.Fatalf("bulk Get(%d): %v", k, err)
+		}
+		sv, err := slow.Get(k)
+		if err != nil {
+			t.Fatalf("slow Get(%d): %v", k, err)
+		}
+		if bv[1].F != sv[1].F {
+			t.Fatalf("key %d: f %v != %v", k, bv[1].F, sv[1].F)
+		}
+		if k%3 == 0 {
+			ba := fetchArray(t, bulk, k, 2)
+			sa := fetchArray(t, slow, k, 2)
+			if ba.FloatAt(arrElems-1) != sa.FloatAt(arrElems-1) {
+				t.Fatalf("key %d: blob tails diverge", k)
+			}
+		}
+	}
+	verifyInvariants(t, db, "bulk", "slow")
+}
+
+// TestBulkLoadAppend checks the strict-append contract: loads stack on
+// top of existing rows, overlapping keys and in-source duplicates are
+// rejected without disturbing the table.
+func TestBulkLoadAppend(t *testing.T) {
+	db := openDB(t, pages.NewMemDisk(), wal.NewMemStorage())
+	tbl, err := db.CreateTable("t", walTestSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range bulkRows(t, 0, 20) {
+		if err := tbl.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tbl.BulkLoad(NewValuesSource(bulkRows(t, 20, 50)), BulkOptions{}); err != nil {
+		t.Fatalf("append load: %v", err)
+	}
+	// Second stacked load on top of the first.
+	if _, err := tbl.BulkLoad(NewValuesSource(bulkRows(t, 70, 30)), BulkOptions{}); err != nil {
+		t.Fatalf("second append load: %v", err)
+	}
+	if got := tbl.Rows(); got != 100 {
+		t.Fatalf("rows = %d, want 100", got)
+	}
+
+	// Overlap with existing keys must be rejected wholesale.
+	if _, err := tbl.BulkLoad(NewValuesSource(bulkRows(t, 99, 5)), BulkOptions{}); !errors.Is(err, ErrBulkOverlap) {
+		t.Fatalf("overlapping load: err = %v, want ErrBulkOverlap", err)
+	}
+	// Duplicate keys inside the source are rejected.
+	dup := bulkRows(t, 200, 3)
+	dup = append(dup, dup[1])
+	if _, err := tbl.BulkLoad(NewValuesSource(dup), BulkOptions{}); !errors.Is(err, btree.ErrDuplicate) {
+		t.Fatalf("duplicate load: err = %v, want ErrDuplicate", err)
+	}
+	if got := tbl.Rows(); got != 100 {
+		t.Fatalf("rows after rejected loads = %d, want 100", got)
+	}
+	// The table still takes normal writes and reads coherently.
+	if err := tbl.Insert([]Value{IntValue(500), FloatValue(1), Null}); err != nil {
+		t.Fatal(err)
+	}
+	verifyInvariants(t, db, "t")
+}
+
+// TestBulkLoadEmptySource loads zero rows: a no-op, no session, no
+// catalog churn.
+func TestBulkLoadEmptySource(t *testing.T) {
+	db := openDB(t, pages.NewMemDisk(), wal.NewMemStorage())
+	tbl, err := db.CreateTable("t", walTestSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := tbl.BulkLoad(NewValuesSource(nil), BulkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != (BulkStats{}) {
+		t.Fatalf("stats = %+v, want zero", st)
+	}
+	verifyInvariants(t, db, "t")
+}
+
+// failingSource yields good rows, then an injected error — a parse
+// failure deep into a load, after blob pages have already been written
+// and synced into the WAL.
+type failingSource struct {
+	rows [][]Value
+	i    int
+}
+
+var errInjected = errors.New("injected source failure")
+
+func (s *failingSource) Next() ([]Value, error) {
+	if s.i >= len(s.rows) {
+		return nil, errInjected
+	}
+	r := s.rows[s.i]
+	s.i++
+	return r, nil
+}
+
+// TestBulkLoadCrashMidLoad kills the database after a load died part way
+// through staging (blob pages logged and synced, no commit). Recovery
+// must show none of the load: prior rows intact, free list untouched,
+// and the table fully usable — including a clean retry of the same load.
+func TestBulkLoadCrashMidLoad(t *testing.T) {
+	disk := pages.NewMemDisk()
+	st := wal.NewMemStorage()
+	db := openDB(t, disk, st)
+	tbl, err := db.CreateTable("t", walTestSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range bulkRows(t, 0, 10) {
+		if err := tbl.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	freeBefore, err := db.blobs.FreeListLen()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// SyncEvery 2 forces WAL syncs mid-staging: uncommitted page images
+	// are durably in the log when the load dies.
+	_, err = tbl.BulkLoad(&failingSource{rows: bulkRows(t, 100, 30)}, BulkOptions{SyncEvery: 2})
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("load error = %v, want injected failure", err)
+	}
+	if got := tbl.Rows(); got != 10 {
+		t.Fatalf("rows after failed load = %d, want 10", got)
+	}
+
+	// Crash and recover: the uncommitted staged images must not be
+	// applied (all-or-nothing: none of the load).
+	st.Crash()
+	db2 := openDB(t, disk, st)
+	tbl2, err := db2.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl2.Rows(); got != 10 {
+		t.Fatalf("recovered rows = %d, want 10", got)
+	}
+	if _, err := tbl2.Get(100); !errors.Is(err, btree.ErrNotFound) {
+		t.Fatalf("staged key visible after crash: err = %v", err)
+	}
+	freeAfter, err := db2.blobs.FreeListLen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freeAfter != freeBefore {
+		t.Fatalf("free list length changed across failed load: %d -> %d", freeBefore, freeAfter)
+	}
+
+	// The same load retried on the recovered database lands completely.
+	if _, err := tbl2.BulkLoad(NewValuesSource(bulkRows(t, 100, 30)), BulkOptions{SyncEvery: 2}); err != nil {
+		t.Fatalf("retry load: %v", err)
+	}
+	if got := tbl2.Rows(); got != 40 {
+		t.Fatalf("rows after retry = %d, want 40", got)
+	}
+	verifyInvariants(t, db2, "t")
+}
+
+// TestBulkLoadCrashAfterCommit is the other half of all-or-nothing: a
+// load whose commit record synced survives a crash in full.
+func TestBulkLoadCrashAfterCommit(t *testing.T) {
+	disk := pages.NewMemDisk()
+	st := wal.NewMemStorage()
+	db := openDB(t, disk, st)
+	tbl, err := db.CreateTable("t", walTestSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.BulkLoad(NewValuesSource(bulkRows(t, 0, 120)), BulkOptions{SyncEvery: 4}); err != nil {
+		t.Fatal(err)
+	}
+	st.Crash()
+	db2 := openDB(t, disk, st)
+	tbl2, err := db2.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl2.Rows(); got != 120 {
+		t.Fatalf("recovered rows = %d, want 120", got)
+	}
+	a := fetchArray(t, tbl2, 117, 2)
+	if got, want := a.FloatAt(5), 1170.0+5; got != want {
+		t.Fatalf("recovered blob elem = %v, want %v", got, want)
+	}
+	verifyInvariants(t, db2, "t")
+}
+
+// TestBulkLoadConcurrentSnapshots races bulk loads against snapshot
+// scans: every reader must see a committed prefix of whole loads —
+// a multiple of the batch size — never a torn one. Run under -race.
+func TestBulkLoadConcurrentSnapshots(t *testing.T) {
+	db := openDB(t, pages.NewMemDisk(), wal.NewMemStorage())
+	schema, err := NewSchema(
+		Column{Name: "id", Type: ColInt64},
+		Column{Name: "x", Type: ColFloat64},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.CreateTable("t", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batches = 12
+	const perBatch = 300
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := db.Snapshot()
+				cur, err := tbl.CursorAt(s)
+				if err != nil {
+					s.Release()
+					errs <- err
+					return
+				}
+				n := 0
+				last := int64(-1)
+				for cur.Next() {
+					if k := cur.Key(); k != last+1 {
+						errs <- fmt.Errorf("scan gap: key %d after %d", k, last)
+						cur.Close()
+						s.Release()
+						return
+					} else {
+						last = k
+					}
+					n++
+				}
+				err = cur.Err()
+				cur.Close()
+				s.Release()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if n%perBatch != 0 {
+					errs <- fmt.Errorf("torn read: %d rows is not a whole number of loads", n)
+					return
+				}
+			}
+		}()
+	}
+	for b := 0; b < batches; b++ {
+		rows := make([][]Value, perBatch)
+		for i := range rows {
+			k := int64(b*perBatch + i)
+			rows[i] = []Value{IntValue(k), FloatValue(float64(k))}
+		}
+		if _, err := tbl.BulkLoad(NewValuesSource(rows), BulkOptions{SyncEvery: 16}); err != nil {
+			t.Fatalf("load %d: %v", b, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := tbl.Rows(); got != batches*perBatch {
+		t.Fatalf("rows = %d, want %d", got, batches*perBatch)
+	}
+	verifyInvariants(t, db, "t")
+}

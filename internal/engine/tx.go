@@ -87,6 +87,63 @@ func (db *DB) Begin() (*Tx, error) {
 	}, nil
 }
 
+// beginTxLocked opens a write session for a caller that already holds
+// db.writeMu — the bulk loader, which needs the writer lock across its
+// capture-free staging phase before opening the capture that covers its
+// catalog graft. Commit/Abort release writeMu as usual; if this errors,
+// the caller still owns the lock.
+func (db *DB) beginTxLocked() (*Tx, error) {
+	c, err := db.bp.BeginCapture()
+	if err != nil {
+		return nil, err
+	}
+	return &Tx{
+		db:      db,
+		cap:     c,
+		touched: make(map[*Table]struct{}),
+		created: make(map[*Table]struct{}),
+	}, nil
+}
+
+// logFrame appends one dirty frame's after-image to the WAL and stamps
+// its pageLSN, making the frame flushable once the log syncs past it.
+// Shared by Tx.Commit (capture frames) and the bulk loader (fresh pages
+// streamed out while still pinned).
+func (db *DB) logFrame(f *pages.Frame) error {
+	l := db.wal
+	return db.bp.LogDirtyFrame(f, func(p *pages.Page) (uint64, error) {
+		// Blob and free-list pages get truncated after-images: their
+		// meaningful bytes end at Used() (compressed chunks in
+		// particular use a fraction of the 8 kB body), so logging
+		// header+used shrinks the log. Recovery zero-extends, which
+		// is byte-exact only if the tail really is zero — clear it
+		// BEFORE stamping the LSN and checksum so the reconstructed
+		// page checksums identically.
+		prefix := false
+		switch p.Type() {
+		case pages.TypeBlobData, pages.TypeBlobTree, pages.TypeFree:
+			prefix = true
+			clear(p.Body()[p.Used():])
+		}
+		lsn := uint64(l.NextLSN())
+		p.SetLSN(lsn)
+		p.UpdateChecksum()
+		if prefix {
+			n := pages.HeaderSize + p.Used()
+			payload := make([]byte, 4+n)
+			binary.LittleEndian.PutUint32(payload, uint32(p.ID))
+			copy(payload[4:], p.Buf[:n])
+			got, err := l.Append(wal.RecPagePrefix, payload)
+			return uint64(got), err
+		}
+		payload := make([]byte, 4+pages.PageSize)
+		binary.LittleEndian.PutUint32(payload, uint32(p.ID))
+		copy(payload[4:], p.Buf[:])
+		got, err := l.Append(wal.RecPageImage, payload)
+		return uint64(got), err
+	})
+}
+
 // touch records that the session mutated t (its state goes into the
 // commit record's catalog delta).
 func (tx *Tx) touch(t *Table) { tx.touched[t] = struct{}{} }
@@ -121,38 +178,7 @@ func (tx *Tx) Commit() error {
 	l := tx.db.wal
 	var firstErr error
 	for _, f := range frames {
-		err := tx.db.bp.LogDirtyFrame(f, func(p *pages.Page) (uint64, error) {
-			// Blob and free-list pages get truncated after-images: their
-			// meaningful bytes end at Used() (compressed chunks in
-			// particular use a fraction of the 8 kB body), so logging
-			// header+used shrinks the log. Recovery zero-extends, which
-			// is byte-exact only if the tail really is zero — clear it
-			// BEFORE stamping the LSN and checksum so the reconstructed
-			// page checksums identically.
-			prefix := false
-			switch p.Type() {
-			case pages.TypeBlobData, pages.TypeBlobTree, pages.TypeFree:
-				prefix = true
-				clear(p.Body()[p.Used():])
-			}
-			lsn := uint64(l.NextLSN())
-			p.SetLSN(lsn)
-			p.UpdateChecksum()
-			if prefix {
-				n := pages.HeaderSize + p.Used()
-				payload := make([]byte, 4+n)
-				binary.LittleEndian.PutUint32(payload, uint32(p.ID))
-				copy(payload[4:], p.Buf[:n])
-				got, err := l.Append(wal.RecPagePrefix, payload)
-				return uint64(got), err
-			}
-			payload := make([]byte, 4+pages.PageSize)
-			binary.LittleEndian.PutUint32(payload, uint32(p.ID))
-			copy(payload[4:], p.Buf[:])
-			got, err := l.Append(wal.RecPageImage, payload)
-			return uint64(got), err
-		})
-		if err != nil && firstErr == nil {
+		if err := tx.db.logFrame(f); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

@@ -79,17 +79,19 @@ func (bs *BucketStore) AddSnapshot(snap *Snapshot, bucketSize int) error {
 		return true
 	})
 	sort.Slice(buckets, func(i, j int) bool { return buckets[i].zcode < buckets[j].zcode })
+	rows := make([][]engine.Value, len(buckets))
 	for rank, b := range buckets {
 		key := int64(snap.Step)<<44 | int64(rank)
 		row, err := encodeBucket(b.parts)
 		if err != nil {
 			return err
 		}
-		if err := bs.table.Insert(append([]engine.Value{engine.IntValue(key)}, row...)); err != nil {
-			return err
-		}
+		rows[rank] = append([]engine.Value{engine.IntValue(key)}, row...)
 	}
-	return nil
+	// One bulk commit per snapshot: keys ascend with the z-curve rank, so
+	// the loader packs leaves straight off this slice.
+	_, err := bs.table.BulkLoad(engine.NewValuesSource(rows), engine.BulkOptions{})
+	return err
 }
 
 // encodeBucket packs particles into the three array blobs: ids as a
@@ -211,16 +213,17 @@ func CreateRowStore(db *engine.DB, name string, snap *Snapshot) (*RowStore, erro
 	if err != nil {
 		return nil, err
 	}
-	for _, p := range snap.Particles {
+	rows := make([][]engine.Value, len(snap.Particles))
+	for i, p := range snap.Particles {
 		key := int64(snap.Step)<<44 | p.ID
-		err := table.Insert([]engine.Value{
+		rows[i] = []engine.Value{
 			engine.IntValue(key),
 			engine.FloatValue(p.Pos[0]), engine.FloatValue(p.Pos[1]), engine.FloatValue(p.Pos[2]),
 			engine.FloatValue(p.Vel[0]), engine.FloatValue(p.Vel[1]), engine.FloatValue(p.Vel[2]),
-		})
-		if err != nil {
-			return nil, err
 		}
+	}
+	if _, err := table.BulkLoad(engine.NewValuesSource(rows), engine.BulkOptions{}); err != nil {
+		return nil, err
 	}
 	return &RowStore{table: table}, nil
 }

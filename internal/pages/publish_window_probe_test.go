@@ -9,7 +9,7 @@ import "testing"
 // inside PreparePublish and the mid-window snapshot fails.
 func TestProbePublishWindowSnapshot(t *testing.T) {
 	bp := NewBufferPool(NewMemDisk(), 16)
-	f, err := bp.NewPage(TypeBTreeLeaf)
+	f, err := bp.NewPage(TypeData)
 	if err != nil {
 		t.Fatal(err)
 	}

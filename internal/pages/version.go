@@ -347,9 +347,12 @@ func (bp *BufferPool) PreparePublish(c *Capture) uint64 {
 }
 
 // FinishPublish advances the commit clock to the prepared tag, making
-// the commit visible to every snapshot acquired from now on.
+// the commit visible to every snapshot acquired from now on, then
+// retires the pre-images the publish window was protecting (they only
+// become droppable once the clock passes their superseding tag).
 func (bp *BufferPool) FinishPublish(tag uint64) {
 	bp.snapClock.Store(tag)
+	bp.retireVersions()
 }
 
 // AbortCapture discards every pending frame of an ended capture and
@@ -415,6 +418,13 @@ func (bp *BufferPool) AbortCapture(c *Capture) {
 // Caller holds the owning shard's mutex.
 func (bp *BufferPool) droppableLocked(f *Frame) bool {
 	if f.supersededBy == 0 || f.pins.Load() != 0 {
+		return false
+	}
+	if f.supersededBy > bp.snapClock.Load() {
+		// The superseding commit is still between PreparePublish and
+		// FinishPublish: a snapshot acquired right now (at the old
+		// clock) resolves to THIS version, so it must survive until the
+		// clock passes the tag.
 		return false
 	}
 	return bp.minSnap.Load() >= f.supersededBy // ^0 when no snapshot is active

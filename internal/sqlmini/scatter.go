@@ -1,0 +1,252 @@
+package sqlmini
+
+import (
+	"fmt"
+	"sync"
+
+	"sqlarray/internal/engine"
+)
+
+// Scatter-gather execution over a partitioned table: the table's rows
+// live in several member databases, each covering a contiguous
+// clustered-key range. One SELECT fans out as per-partition snapshot
+// scans on worker goroutines and the partials gather back into a single
+// result:
+//
+//   - aggregate queries merge per-partition partial accumulators — the
+//     same merge the parallel aggregate scan uses within one table, so
+//     AVG stays exact (sums and counts merge, not averages);
+//   - plain selects concatenate rows in partition order, which IS
+//     clustered-key order, with TOP pushed into every partition and
+//     re-applied to the gathered whole.
+//
+// Before anything runs, the statement's sargable WHERE bounds prune
+// partitions whose key range cannot intersect — the scatter analogue of
+// the B+tree descent the single-table scan gets from pushdown.
+
+// Partition couples one member database of a partitioned table with the
+// inclusive clustered-key range it covers.
+type Partition struct {
+	DB     *engine.DB
+	Lo, Hi int64
+}
+
+// ScatterStats reports how much of the table a scatter execution
+// actually touched.
+type ScatterStats struct {
+	Partitions int // members of the partitioned table
+	Scanned    int // partitions that survived key-range pruning
+}
+
+// ScatterRun parses and executes one SELECT across the partitions of a
+// table. Every partition holds the same schema under the same table
+// name; parts must be ordered by key range.
+func ScatterRun(parts []Partition, query string, opts ExecOptions) (*Result, ScatterStats, error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, ScatterStats{}, err
+	}
+	return ScatterExec(parts, stmt, opts)
+}
+
+// ScatterExec is ScatterRun on a parsed statement.
+func ScatterExec(parts []Partition, stmt *SelectStmt, opts ExecOptions) (*Result, ScatterStats, error) {
+	stats := ScatterStats{Partitions: len(parts)}
+	if len(parts) == 0 {
+		return nil, stats, fmt.Errorf("sql: scatter over zero partitions")
+	}
+	tbl0, err := parts[0].DB.Table(stmt.Table)
+	if err != nil {
+		return nil, stats, err
+	}
+	schema := tbl0.Schema()
+
+	// Sargable pruning: partitions whose key range cannot intersect the
+	// WHERE bounds are never opened, never snapshotted, never scanned.
+	bounds := unboundedKeys()
+	if stmt.Where != nil && !hasAggregate(stmt.Where) {
+		bounds, _ = extractKeyBounds(stmt.Where, schema)
+	}
+	var live []Partition
+	if !bounds.empty {
+		for _, p := range parts {
+			if p.Hi >= bounds.loKey() && p.Lo <= bounds.hiKey() {
+				live = append(live, p)
+			}
+		}
+	}
+	stats.Scanned = len(live)
+
+	aggregate := false
+	for _, it := range stmt.Items {
+		aggregate = aggregate || hasAggregate(it.Expr)
+	}
+	if aggregate {
+		res, err := scatterAggregate(live, parts[0].DB, tbl0, stmt, schema, opts)
+		return res, stats, err
+	}
+	res, err := scatterSelect(live, stmt, opts)
+	return res, stats, err
+}
+
+// scatterAggregate fans the scan+filter+accumulate stage out per
+// partition and merges the partial accumulators in partition order,
+// then evaluates the projection once over the merged aggregates.
+func scatterAggregate(live []Partition, db0 *engine.DB, tbl0 *engine.Table, stmt *SelectStmt, schema *engine.Schema, opts ExecOptions) (*Result, error) {
+	// The master plan owns the merge-target accumulators and the final
+	// projection. Its aggregate arguments never run (partition plans
+	// feed the data), so a nil snapshot is fine.
+	bounds := unboundedKeys()
+	residual := stmt.Where
+	if stmt.Where != nil {
+		bounds, residual = extractKeyBounds(stmt.Where, schema)
+	}
+	master, err := compileStmt(db0, tbl0, stmt, residual, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	type partial struct {
+		accs []*accumulator
+		err  error
+	}
+	partials := make([]partial, len(live))
+	sem := make(chan struct{}, opts.workers())
+	var wg sync.WaitGroup
+	for i, p := range live {
+		wg.Add(1)
+		go func(i int, p Partition) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			accs, err := partitionPartial(p.DB, stmt, residual, bounds, opts)
+			partials[i] = partial{accs: accs, err: err}
+		}(i, p)
+	}
+	wg.Wait()
+	for _, pt := range partials {
+		if pt.err != nil {
+			return nil, pt.err
+		}
+	}
+	// Merge in partition order: float results stay deterministic for a
+	// fixed partition layout.
+	for _, pt := range partials {
+		for i, acc := range pt.accs {
+			master.accs[i].merge(acc)
+		}
+	}
+	aggVals := make([]engine.Value, len(master.accs))
+	for i, acc := range master.accs {
+		aggVals[i] = acc.result()
+	}
+	ctx := &rowCtx{aggVals: aggVals}
+	out := make([]engine.Value, len(master.items))
+	for i, item := range master.items {
+		v, err := item.eval(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return &Result{Columns: master.columns, Rows: [][]engine.Value{out}}, nil
+}
+
+// partitionPartial runs scan → filter → accumulate over one partition
+// under its own snapshot and returns the partial accumulators.
+func partitionPartial(db *engine.DB, stmt *SelectStmt, residual Expr, bounds keyBounds, opts ExecOptions) ([]*accumulator, error) {
+	tbl, err := db.Table(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	snap := db.Snapshot()
+	defer snap.Release()
+	cs, err := compileStmt(db, tbl, stmt, residual, snap)
+	if err != nil {
+		return nil, err
+	}
+	var root batchOperator = &batchScanOp{
+		tbl: tbl, snap: snap, qctx: opts.Ctx,
+		lo: bounds.loKey(), hi: bounds.hiKey(), need: cs.used,
+	}
+	if cs.where != nil {
+		root = &batchFilterOp{child: root, qctx: opts.Ctx, pred: cs.where}
+	}
+	agg := &batchAggOp{child: root, qctx: opts.Ctx, accs: cs.accs}
+	if err := agg.open(); err != nil {
+		agg.close()
+		return nil, err
+	}
+	defer agg.close()
+	b := newBatch(len(tbl.Schema().Columns))
+	b.reset(opts.batchSize())
+	if _, err := agg.nextBatch(b); err != nil {
+		return nil, err
+	}
+	b.pins.Release()
+	return cs.accs, nil
+}
+
+// scatterSelect runs the full statement per partition on worker
+// goroutines — TOP included, a prefix per partition is a valid prefix
+// of the whole — and concatenates the materialized results in partition
+// order (clustered-key order), re-applying TOP to the gathered rows.
+func scatterSelect(live []Partition, stmt *SelectStmt, opts ExecOptions) (*Result, error) {
+	popts := opts
+	popts.Snapshot = nil // every partition reads its own snapshot
+	results := make([]*Result, len(live))
+	errs := make([]error, len(live))
+	sem := make(chan struct{}, opts.workers())
+	var wg sync.WaitGroup
+	for i, p := range live {
+		wg.Add(1)
+		go func(i int, p Partition) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = ExecWith(p.DB, stmt, popts)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := &Result{}
+	for _, r := range results {
+		if out.Columns == nil {
+			out.Columns = r.Columns
+		}
+		out.Rows = append(out.Rows, r.Rows...)
+		if stmt.Top > 0 && int64(len(out.Rows)) >= stmt.Top {
+			out.Rows = out.Rows[:int(stmt.Top)]
+			break
+		}
+	}
+	if out.Columns == nil {
+		// Every partition was pruned: compile nothing, return the empty
+		// shape from any member's schema via a zero-partition parse of
+		// the projection names.
+		out.Columns = columnNames(stmt)
+	}
+	return out, nil
+}
+
+// columnNames derives result column names without executing (the
+// all-pruned case).
+func columnNames(stmt *SelectStmt) []string {
+	names := make([]string, len(stmt.Items))
+	for i, it := range stmt.Items {
+		if it.Alias != "" {
+			names[i] = it.Alias
+			continue
+		}
+		name := ExprString(it.Expr)
+		if len(name) > 40 {
+			name = fmt.Sprintf("col%d", i+1)
+		}
+		names[i] = name
+	}
+	return names
+}

@@ -61,12 +61,16 @@ func CreateStore(db *engine.DB, tableName string, f *Field, cube, ghost int) (*S
 	return s, nil
 }
 
-// AddSnapshot ingests another timestep of the same geometry.
+// AddSnapshot ingests another timestep of the same geometry through the
+// bulk-load path: blocks are packed in grid order (z-shuffled keys —
+// the loader sorts into z-curve order) and land as freshly packed
+// leaves in one commit, so a crash mid-snapshot leaves no partial step.
 func (s *Store) AddSnapshot(step int, f *Field) error {
 	if f.N != s.n {
 		return fmt.Errorf("turbulence: snapshot grid %d != store grid %d", f.N, s.n)
 	}
 	nc := s.n / s.cube
+	rows := make([][]engine.Value, 0, nc*nc*nc)
 	for cz := 0; cz < nc; cz++ {
 		for cy := 0; cy < nc; cy++ {
 			for cx := 0; cx < nc; cx++ {
@@ -78,17 +82,15 @@ func (s *Store) AddSnapshot(step int, f *Field) error {
 				if err != nil {
 					return err
 				}
-				err = s.table.Insert([]engine.Value{
+				rows = append(rows, []engine.Value{
 					engine.IntValue(keyFor(step, code)),
 					engine.BinaryMaxValue(arr.Bytes()),
 				})
-				if err != nil {
-					return err
-				}
 			}
 		}
 	}
-	return nil
+	_, err := s.table.BulkLoad(engine.NewValuesSource(rows), engine.BulkOptions{})
+	return err
 }
 
 // packBlock builds the (m, m, m, 4) max array for one sub-cube,

@@ -1,0 +1,248 @@
+package wal
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// gatedStorage wraps MemStorage so a test can hold a segment fsync open:
+// Sync blocks until the gate channel is released, and signals on started
+// when an fsync enters. That makes the group-commit interleaving
+// deterministic — a follower can be launched while the leader is provably
+// mid-fsync.
+type gatedStorage struct {
+	*MemStorage
+	mu      sync.Mutex
+	gate    chan struct{} // closed/filled to let Sync proceed
+	started chan struct{} // receives one token per Sync entry
+	armed   bool
+}
+
+func newGatedStorage() *gatedStorage {
+	return &gatedStorage{
+		MemStorage: NewMemStorage(),
+		gate:       make(chan struct{}, 16),
+		started:    make(chan struct{}, 16),
+	}
+}
+
+// arm makes subsequent Syncs block on the gate.
+func (g *gatedStorage) arm() {
+	g.mu.Lock()
+	g.armed = true
+	g.mu.Unlock()
+}
+
+func (g *gatedStorage) disarm() {
+	g.mu.Lock()
+	g.armed = false
+	g.mu.Unlock()
+}
+
+func (g *gatedStorage) Open(seq uint32) (Segment, error) {
+	s, err := g.MemStorage.Open(seq)
+	if err != nil {
+		return nil, err
+	}
+	return &gatedSegment{Segment: s, st: g}, nil
+}
+
+func (g *gatedStorage) Create(seq uint32) (Segment, error) {
+	s, err := g.MemStorage.Create(seq)
+	if err != nil {
+		return nil, err
+	}
+	return &gatedSegment{Segment: s, st: g}, nil
+}
+
+type gatedSegment struct {
+	Segment
+	st *gatedStorage
+}
+
+func (s *gatedSegment) Sync() error {
+	s.st.mu.Lock()
+	armed := s.st.armed
+	s.st.mu.Unlock()
+	if armed {
+		s.st.started <- struct{}{}
+		<-s.st.gate
+	}
+	return s.Segment.Sync()
+}
+
+// TestGroupCommitPiggyback holds a leader's fsync open at the storage
+// layer, lets a second committer arrive, and asserts the second one
+// piggybacks on the first fsync instead of issuing its own.
+func TestGroupCommitPiggyback(t *testing.T) {
+	st := newGatedStorage()
+	l, err := Open(st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+
+	if _, err := l.Append(RecCommit, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(RecCommit, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+
+	st.arm()
+	leaderDone := make(chan error, 1)
+	go func() { leaderDone <- l.Sync() }()
+	// Wait until the leader is provably inside the storage fsync.
+	select {
+	case <-st.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("leader never reached the storage fsync")
+	}
+
+	followerDone := make(chan error, 1)
+	go func() { followerDone <- l.Sync() }()
+	// The follower's records were flushed by the leader, so it must park
+	// on the in-flight fsync. Give it a moment to reach the wait, then
+	// release the gate; any later fsync it might wrongly issue would pass
+	// straight through (disarm first) rather than deadlock the test.
+	time.Sleep(20 * time.Millisecond)
+	st.disarm()
+	st.gate <- struct{}{}
+
+	for i, ch := range []chan error{leaderDone, followerDone} {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Fatalf("sync %d: %v", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("sync %d never returned", i)
+		}
+	}
+
+	s := l.Stats()
+	if s.GroupCommitPiggybacks < 1 {
+		t.Fatalf("GroupCommitPiggybacks = %d, want >= 1", s.GroupCommitPiggybacks)
+	}
+	if s.Syncs != 1 {
+		t.Fatalf("Syncs = %d, want 1 (follower must not fsync)", s.Syncs)
+	}
+	if l.DurableLSN() != uint64(l.NextLSN()) {
+		t.Fatalf("durable %d != next %d after group commit", l.DurableLSN(), l.NextLSN())
+	}
+}
+
+// TestGroupCommitLateArrival checks commit pipelining: a committer whose
+// records were appended after the leader's flush must not piggyback on
+// the in-flight fsync (it does not cover them) — it waits and leads the
+// next sync.
+func TestGroupCommitLateArrival(t *testing.T) {
+	st := newGatedStorage()
+	l, err := Open(st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+
+	if _, err := l.Append(RecCommit, []byte("early")); err != nil {
+		t.Fatal(err)
+	}
+	st.arm()
+	leaderDone := make(chan error, 1)
+	go func() { leaderDone <- l.Sync() }()
+	select {
+	case <-st.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("leader never reached the storage fsync")
+	}
+
+	// Appended while the leader's fsync is in flight: not covered by it.
+	if _, err := l.Append(RecCommit, []byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	lateLSN := l.NextLSN()
+	lateDone := make(chan error, 1)
+	go func() { lateDone <- l.Sync() }()
+
+	// Release the first fsync; the late committer must then run its own.
+	st.gate <- struct{}{}
+	select {
+	case <-st.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("late committer never started its own fsync")
+	}
+	st.disarm()
+	st.gate <- struct{}{}
+
+	for i, ch := range []chan error{leaderDone, lateDone} {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Fatalf("sync %d: %v", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("sync %d never returned", i)
+		}
+	}
+	if got := l.DurableLSN(); got != uint64(lateLSN) {
+		t.Fatalf("durable %d, want %d", got, lateLSN)
+	}
+	if s := l.Stats(); s.Syncs != 2 {
+		t.Fatalf("Syncs = %d, want 2 (late records need a second fsync)", s.Syncs)
+	}
+}
+
+// TestGroupCommitConcurrentSyncStress hammers Append+Sync from many
+// goroutines to shake races out under -race; every committer must see
+// its own records durable when its Sync returns.
+func TestGroupCommitConcurrentSyncStress(t *testing.T) {
+	l, err := Open(NewMemStorage(), Options{SegmentSize: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	const workers = 8
+	const perWorker = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	payload := make([]byte, 256)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				lsn, err := l.Append(RecCommit, payload)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := l.Sync(); err != nil {
+					errs <- err
+					return
+				}
+				end := uint64(lsn + FrameSize(len(payload)))
+				if d := l.DurableLSN(); d < end {
+					errs <- &durabilityError{got: d, want: end}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	s := l.Stats()
+	if s.Records != workers*perWorker {
+		t.Fatalf("Records = %d, want %d", s.Records, workers*perWorker)
+	}
+	t.Logf("syncs=%d piggybacks=%d rolls=%d", s.Syncs, s.GroupCommitPiggybacks, s.SegmentRolls)
+}
+
+type durabilityError struct{ got, want uint64 }
+
+func (e *durabilityError) Error() string {
+	return "sync returned but durable < record end"
+}

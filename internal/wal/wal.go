@@ -85,6 +85,10 @@ type Stats struct {
 	Syncs        uint64 // explicit Sync calls that reached the storage
 	Checkpoints  uint64
 	SegmentRolls uint64
+	// GroupCommitPiggybacks counts Sync calls that became durable by
+	// waiting on another caller's in-flight fsync instead of issuing
+	// their own — the group-commit win under concurrent committers.
+	GroupCommitPiggybacks uint64
 }
 
 // Options configures a log.
@@ -116,11 +120,22 @@ type Log struct {
 	segLimit int64
 	closed   bool
 
+	// Group commit: at most one goroutine (the sync leader) runs the
+	// storage fsync at a time, with l.mu released. syncing is true while
+	// that fsync is in flight; syncCond wakes everyone parked on it —
+	// followers whose records the leader's flush already covered return
+	// without an fsync of their own. While syncing is true, durable is
+	// frozen (only the leader advances it, after re-acquiring l.mu), and
+	// the active segment must not be closed, truncated, or rolled.
+	syncing  bool
+	syncCond *sync.Cond
+
 	records      atomic.Uint64
 	bytesLogged  atomic.Uint64
 	syncs        atomic.Uint64
 	checkpoints  atomic.Uint64
 	segmentRolls atomic.Uint64
+	piggybacks   atomic.Uint64
 }
 
 // Open opens (or initializes) a log over st, scanning existing segments
@@ -134,6 +149,7 @@ func Open(st Storage, o Options) (*Log, error) {
 		o.SegmentSize = DefaultSegmentSize
 	}
 	l := &Log{st: st, segLimit: o.SegmentSize}
+	l.syncCond = sync.NewCond(&l.mu)
 	seqs, err := st.List()
 	if err != nil {
 		return nil, err
@@ -317,11 +333,12 @@ func (l *Log) LastCheckpointLSN() LSN {
 // Stats returns a snapshot of the log counters.
 func (l *Log) Stats() Stats {
 	return Stats{
-		Records:      l.records.Load(),
-		BytesLogged:  l.bytesLogged.Load(),
-		Syncs:        l.syncs.Load(),
-		Checkpoints:  l.checkpoints.Load(),
-		SegmentRolls: l.segmentRolls.Load(),
+		Records:               l.records.Load(),
+		BytesLogged:           l.bytesLogged.Load(),
+		Syncs:                 l.syncs.Load(),
+		Checkpoints:           l.checkpoints.Load(),
+		SegmentRolls:          l.segmentRolls.Load(),
+		GroupCommitPiggybacks: l.piggybacks.Load(),
 	}
 }
 
@@ -340,10 +357,21 @@ func (l *Log) Append(typ RecordType, payload []byte) (LSN, error) {
 	}
 	frame := int64(frameHeaderSize + len(payload))
 	// Roll to a fresh segment when this record would overflow the
-	// current one (records never span segments).
+	// current one (records never span segments). Rolling closes the
+	// active segment, so wait out any in-flight group-commit fsync;
+	// waiting releases l.mu, so re-check the roll condition after —
+	// another appender may have rolled already.
 	if l.curSize > segHeaderSize && l.curSize+frame > l.segLimit {
-		if err := l.rollLocked(); err != nil {
-			return 0, err
+		for l.syncing {
+			l.syncCond.Wait()
+			if l.closed {
+				return 0, ErrClosed
+			}
+		}
+		if l.curSize > segHeaderSize && l.curSize+frame > l.segLimit {
+			if err := l.rollLocked(); err != nil {
+				return 0, err
+			}
 		}
 	}
 	lsn := l.nextLSN
@@ -399,25 +427,57 @@ func (l *Log) flushLocked() error {
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	//lint:allow latchorder syncLocked's reacquire of l.mu after the leader fsync is a release-then-relock, not a nested acquisition
 	return l.syncLocked()
 }
 
+// syncLocked makes every record appended so far durable. Concurrent
+// callers group-commit: the first one through becomes the sync leader
+// and runs the storage fsync with l.mu released; later callers park on
+// syncCond and, once the leader's fsync covers their records, return
+// without touching the storage (counted as a piggyback). A caller whose
+// records the in-flight fsync does NOT cover (appended after the
+// leader's flush) waits it out and then leads the next sync — fsyncs
+// pipeline instead of serializing behind one another. Caller holds l.mu.
 func (l *Log) syncLocked() error {
 	if l.closed {
 		return ErrClosed
 	}
+	target := l.nextLSN
+	waited := false
+	for {
+		if uint64(target) <= l.durable.Load() {
+			if waited {
+				l.piggybacks.Add(1)
+			}
+			return nil // an earlier sync already covered our records
+		}
+		if l.closed {
+			return ErrClosed
+		}
+		if !l.syncing {
+			break // become the leader
+		}
+		waited = true
+		l.syncCond.Wait()
+	}
 	if err := l.flushLocked(); err != nil {
 		return err
 	}
-	if uint64(l.nextLSN) == l.durable.Load() {
-		return nil // nothing new; skip the fsync
+	flushed := l.nextLSN
+	cur := l.cur
+	l.syncing = true
+	l.mu.Unlock()
+	err := cur.Sync()
+	l.mu.Lock()
+	l.syncing = false
+	if err == nil {
+		// Advance durable before waking followers so they observe it.
+		l.durable.Store(uint64(flushed))
+		l.syncs.Add(1)
 	}
-	if err := l.cur.Sync(); err != nil {
-		return err
-	}
-	l.durable.Store(uint64(l.nextLSN))
-	l.syncs.Add(1)
-	return nil
+	l.syncCond.Broadcast()
+	return err
 }
 
 // Checkpoint appends a checkpoint record, syncs, and prunes every
@@ -431,6 +491,7 @@ func (l *Log) Checkpoint(payload []byte) (LSN, error) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	//lint:allow latchorder syncLocked's reacquire of l.mu after the leader fsync is a release-then-relock, not a nested acquisition
 	if err := l.syncLocked(); err != nil {
 		return 0, err
 	}
@@ -516,6 +577,14 @@ func (l *Log) TruncateTo(lsn LSN) error {
 	if l.closed {
 		return ErrClosed
 	}
+	// Truncation rewrites the active segment; wait out any in-flight
+	// group-commit fsync first.
+	for l.syncing {
+		l.syncCond.Wait()
+		if l.closed {
+			return ErrClosed
+		}
+	}
 	if lsn >= l.nextLSN {
 		return nil
 	}
@@ -574,8 +643,19 @@ func (l *Log) Close() error {
 	if l.closed {
 		return nil
 	}
+	//lint:allow latchorder syncLocked's reacquire of l.mu after the leader fsync is a release-then-relock, not a nested acquisition
 	err := l.syncLocked()
+	// Our own records are durable, but a later caller's fsync may still
+	// be in flight against the active segment; wait it out before
+	// closing the handle under it.
+	for l.syncing {
+		l.syncCond.Wait()
+	}
+	if l.closed {
+		return err
+	}
 	l.closed = true
+	l.syncCond.Broadcast()
 	if l.cur != nil {
 		if cerr := l.cur.Close(); err == nil {
 			err = cerr

@@ -17,6 +17,8 @@ run_bench() {
 	run_bench 'BenchmarkParallelAggregate|BenchmarkMixedScanDML' ./internal/sqlmini
 	run_bench 'BenchmarkReadAll1MB|BenchmarkPartialRead4kOf1MB|BenchmarkReadRunsStencil|BenchmarkReadRunsPinnedStencil|BenchmarkCodec' ./internal/blob
 	run_bench 'BenchmarkSubarrayPartialVsWholeBlob' . 1x
+	run_bench 'BenchmarkBulkLoad' ./internal/engine 2x
+	run_bench 'BenchmarkPartitionedScanSpeedup' ./internal/partition
 	# The codec ratio table prints parseable "ratio-table:" lines with the
 	# compression ratio and encode/decode throughput per codec/data shape.
 	go test -run TestCompressionRatioTable -v ./internal/blob 2>/dev/null |

@@ -40,6 +40,8 @@
 package sqlarray
 
 import (
+	"io"
+
 	"sqlarray/internal/arraysugar"
 	"sqlarray/internal/core"
 	"sqlarray/internal/engine"
@@ -288,6 +290,47 @@ func (d *Database) QueryScalarFloat(sql string) (float64, error) {
 		return 0, err
 	}
 	return v.AsFloat()
+}
+
+// BulkSource yields rows for Copy; see engine.BulkSource.
+type BulkSource = engine.BulkSource
+
+// BulkOptions tunes a bulk load.
+type BulkOptions = engine.BulkOptions
+
+// BulkStats reports what a completed bulk load wrote.
+type BulkStats = engine.BulkStats
+
+// CSVOptions tunes the CSV parse pipeline.
+type CSVOptions = engine.CSVOptions
+
+// NewValuesSource adapts an in-memory row slice to BulkSource.
+var NewValuesSource = engine.NewValuesSource
+
+// Copy bulk-loads rows into a table — the COPY path. Rows are staged,
+// sorted by clustered key, packed into full fresh leaves and blob
+// pages, and committed as one write session with a single WAL sync; a
+// crash mid-load recovers to all of the load or none of it. The table
+// must be empty or every new key must exceed its current maximum.
+func (d *Database) Copy(table string, src BulkSource, opts BulkOptions) (BulkStats, error) {
+	t, err := d.DB.Table(table)
+	if err != nil {
+		return BulkStats{}, err
+	}
+	return t.BulkLoad(src, opts)
+}
+
+// CopyCSV bulk-loads CSV text into a table through the parallel parse
+// pipeline: a reader goroutine tokenizes records, a worker pool converts
+// fields to typed values, and the loader sorts and packs the rows.
+func (d *Database) CopyCSV(table string, r io.Reader, copts CSVOptions, opts BulkOptions) (BulkStats, error) {
+	t, err := d.DB.Table(table)
+	if err != nil {
+		return BulkStats{}, err
+	}
+	src := engine.NewCSVSource(r, t.Schema(), copts)
+	defer src.Close()
+	return t.BulkLoad(src, opts)
 }
 
 // IOModel re-exports the disk model used to reconstruct the paper's
