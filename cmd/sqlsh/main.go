@@ -12,15 +12,17 @@ package main
 import (
 	"bufio"
 	"fmt"
+	"net/http"
 	"os"
+	"strconv"
 	"strings"
 
 	"sqlarray"
-	"sqlarray/internal/blob"
 	"sqlarray/internal/core"
 	"sqlarray/internal/engine"
-	"sqlarray/internal/pages"
-	"sqlarray/internal/wal"
+	"sqlarray/internal/obs"
+	"sqlarray/internal/partition"
+	"sqlarray/internal/sqlmini"
 )
 
 func main() {
@@ -32,18 +34,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sqlsh:", err)
 		os.Exit(1)
 	}
+	// Every statement's I/O is measured as a registry snapshot delta.
+	// Sharded tables open their member databases against this same
+	// registry, so scatter queries report their full fan-out I/O here
+	// instead of only the primary database's share.
+	reg := db.Metrics()
+	shards := map[string]*partition.Store{}
 	cols := sqlarray.ArrayColumns{}
-	fmt.Println(`sqlarray shell — one statement per line (SELECT, INSERT, UPDATE, DELETE;
-UPDATE supports in-place subarray assignment: SET v[1:3] = ...);
-\col <name> <schema> maps a column for subscript sugar; .stats prints the
-last statement's buffer-pool, blob and WAL I/O; .load <table> <file.csv>
-bulk-loads a headerless CSV file (INT64/FLOAT64 fields plain, binary
-columns hex, empty = NULL); .checkpoint flushes and bounds recovery;
-\q quits. A table "demo"(id BIGINT, v VARBINARY short float 5-vector) is
-preloaded with 10 rows.`)
+	fmt.Println(`sqlarray shell — one statement per line (SELECT, INSERT, UPDATE, DELETE,
+EXPLAIN [ANALYZE] SELECT; UPDATE supports in-place subarray assignment:
+SET v[1:3] = ...); \col <name> <schema> maps a column for subscript sugar;
+.stats prints the last statement's buffer-pool, blob and WAL I/O;
+.load <table> <file.csv> bulk-loads a headerless CSV file; .checkpoint
+flushes and bounds recovery; .shard <table> <parts> [rows] creates a
+range-partitioned demo table queried scatter-gather; .serve-metrics <addr>
+exposes /metrics (Prometheus) and /debug/vars (JSON) over HTTP; \q quits.
+A table "demo"(id BIGINT, v VARBINARY short float 5-vector) is preloaded
+with 10 rows.`)
 	sc := bufio.NewScanner(os.Stdin)
-	var last queryStats
-	haveLast := false
+	var last obs.Snapshot
 	for {
 		fmt.Print("sql> ")
 		if !sc.Scan() {
@@ -56,11 +65,11 @@ preloaded with 10 rows.`)
 		case line == `\q` || line == "exit" || line == "quit":
 			return
 		case line == ".stats" || line == `\stats`:
-			if !haveLast {
+			if last == nil {
 				fmt.Println("no query has run yet")
 				continue
 			}
-			last.print()
+			printStats(last)
 			continue
 		case line == ".checkpoint" || line == `\checkpoint`:
 			if err := db.Checkpoint(); err != nil {
@@ -71,13 +80,51 @@ preloaded with 10 rows.`)
 			fmt.Printf("checkpoint done: WAL at LSN %d, %d segment(s), %d checkpoint(s) total\n",
 				db.WAL().DurableLSN(), db.WAL().Segments(), ws.Checkpoints)
 			continue
+		case strings.HasPrefix(line, ".serve-metrics"):
+			parts := strings.Fields(line)
+			if len(parts) != 2 {
+				fmt.Println("usage: .serve-metrics <addr>   e.g. .serve-metrics localhost:9090")
+				continue
+			}
+			addr := parts[1]
+			go func() {
+				if err := http.ListenAndServe(addr, obs.Handler(reg)); err != nil {
+					fmt.Fprintln(os.Stderr, "serve-metrics:", err)
+				}
+			}()
+			fmt.Printf("serving /metrics (Prometheus) and /debug/vars (JSON) on http://%s\n", addr)
+			continue
+		case strings.HasPrefix(line, ".shard "):
+			parts := strings.Fields(line)
+			if len(parts) < 3 || len(parts) > 4 {
+				fmt.Println("usage: .shard <table> <parts> [rows]")
+				continue
+			}
+			nParts, err := strconv.Atoi(parts[2])
+			rows := int64(1000)
+			if err == nil && len(parts) == 4 {
+				rows, err = strconv.ParseInt(parts[3], 10, 64)
+			}
+			if err != nil || nParts < 1 || rows < 1 {
+				fmt.Println("usage: .shard <table> <parts> [rows]")
+				continue
+			}
+			store, err := createShardedTable(reg, parts[1], nParts, rows)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			shards[parts[1]] = store
+			fmt.Printf("sharded table %q: %d rows over %d members (id BIGINT, x FLOAT), queried scatter-gather\n",
+				parts[1], rows, nParts)
+			continue
 		case strings.HasPrefix(line, ".load ") || strings.HasPrefix(line, `\load `):
 			parts := strings.Fields(line)
 			if len(parts) != 3 {
 				fmt.Println("usage: .load <table> <file.csv>")
 				continue
 			}
-			p0, b0, w0 := db.Pool().Stats(), db.Blobs().Stats(), db.WAL().Stats()
+			before := reg.Snapshot()
 			st, err := loadCSV(db, parts[1], parts[2])
 			if err != nil {
 				fmt.Println("error:", err)
@@ -86,8 +133,7 @@ preloaded with 10 rows.`)
 			fmt.Printf("loaded %d rows: %s on-page, %s blob data, %d leaf + %d blob pages\n",
 				st.Rows, fmtBytes(uint64(st.RowBytes)), fmtBytes(uint64(st.BlobBytes)),
 				st.LeafPages, st.BlobPages)
-			last = diffStats(p0, b0, w0, db.Pool().Stats(), db.Blobs().Stats(), db.WAL().Stats())
-			haveLast = true
+			last = reg.Snapshot().Delta(before)
 			continue
 		case strings.HasPrefix(line, `\col `):
 			parts := strings.Fields(line)
@@ -99,25 +145,115 @@ preloaded with 10 rows.`)
 			fmt.Printf("mapped %s -> %s\n", parts[1], parts[2])
 			continue
 		}
-		p0, b0, w0 := db.Pool().Stats(), db.Blobs().Stats(), db.WAL().Stats()
-		if isSelect(line) {
-			rows, err := db.QueryArrayRows(line, cols)
-			if err != nil {
-				fmt.Println("error:", err)
-				continue
-			}
-			printRows(rows)
-		} else {
-			res, err := db.ExecArray(line, cols)
-			if err != nil {
-				fmt.Println("error:", err)
-				continue
-			}
-			fmt.Printf("(%d row(s) affected)\n", res.RowsAffected)
-		}
-		last = diffStats(p0, b0, w0, db.Pool().Stats(), db.Blobs().Stats(), db.WAL().Stats())
-		haveLast = true
+		before := reg.Snapshot()
+		runStatement(db, shards, cols, line)
+		last = reg.Snapshot().Delta(before)
 	}
+}
+
+// runStatement routes one SQL line: sharded tables go scatter-gather
+// through their partition store, everything else runs on the primary
+// database (streaming for SELECT, Exec for the rest).
+func runStatement(db *sqlarray.Database, shards map[string]*partition.Store, cols sqlarray.ArrayColumns, line string) {
+	if store := shardTarget(shards, line); store != nil {
+		if strings.HasPrefix(strings.ToUpper(line), "EXPLAIN") {
+			plan, stats, err := store.Explain(line, sqlmini.ExecOptions{})
+			if err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+			fmt.Println(plan)
+			fmt.Printf("(%d of %d partition(s) scanned)\n", stats.Scanned, stats.Partitions)
+			return
+		}
+		res, stats, err := store.Query(line, sqlmini.ExecOptions{})
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		printResult(res)
+		fmt.Printf("(%d of %d partition(s) scanned)\n", stats.Scanned, stats.Partitions)
+		return
+	}
+	if isSelect(line) {
+		rows, err := db.QueryArrayRows(line, cols)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		printRows(rows)
+		return
+	}
+	res, err := db.ExecArray(line, cols)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if res.Plan != "" {
+		fmt.Println(res.Plan)
+		return
+	}
+	fmt.Printf("(%d row(s) affected)\n", res.RowsAffected)
+}
+
+// shardTarget returns the partition store the statement targets, if its
+// FROM table is sharded. Only plain SELECT / EXPLAIN parse here; array
+// sugar never applies to shard tables (they are (id, x) only).
+func shardTarget(shards map[string]*partition.Store, line string) *partition.Store {
+	if len(shards) == 0 {
+		return nil
+	}
+	stmt, err := sqlmini.ParseStatement(line)
+	if err != nil {
+		return nil
+	}
+	switch s := stmt.(type) {
+	case *sqlmini.SelectStmt:
+		return shards[s.Table]
+	case *sqlmini.ExplainStmt:
+		return shards[s.Stmt.Table]
+	}
+	return nil
+}
+
+// createShardedTable opens nParts member databases against the shared
+// registry, splits [0, rows) evenly, and bulk-loads id, x = id/2.
+func createShardedTable(reg *obs.Registry, name string, nParts int, rows int64) (*partition.Store, error) {
+	splits := make([]int64, nParts-1)
+	for i := 1; i < nParts; i++ {
+		splits[i-1] = rows*int64(i)/int64(nParts) - 1
+	}
+	spec := partition.Spec{Mode: partition.RangeMode, Splits: splits}
+	dbs := make([]*engine.DB, nParts)
+	for i := range dbs {
+		m, err := engine.Open(engine.Options{Metrics: reg})
+		if err != nil {
+			return nil, err
+		}
+		dbs[i] = m
+	}
+	store, err := partition.New(spec, dbs)
+	if err != nil {
+		return nil, err
+	}
+	s, err := engine.NewSchema(
+		engine.Column{Name: "id", Type: engine.ColInt64},
+		engine.Column{Name: "x", Type: engine.ColFloat64},
+	)
+	if err != nil {
+		return nil, err
+	}
+	if err := store.CreateTable(name, s); err != nil {
+		return nil, err
+	}
+	var vals [][]engine.Value
+	for i := int64(0); i < rows; i++ {
+		vals = append(vals, []engine.Value{engine.IntValue(i), engine.FloatValue(float64(i) / 2)})
+	}
+	if _, err := store.BulkLoad(name, engine.NewValuesSource(vals), engine.BulkOptions{}); err != nil {
+		return nil, err
+	}
+	return store, nil
 }
 
 // isSelect routes a line to the streaming query path; everything else
@@ -126,76 +262,38 @@ func isSelect(line string) bool {
 	return len(line) >= 6 && strings.EqualFold(line[:6], "SELECT")
 }
 
-// queryStats is the per-query delta of the pool and blob counters, the
-// interactive window onto the subarray I/O pushdown: a sliced read of a
-// big array shows chunk reads collapsing while the hit ratio climbs.
-type queryStats struct {
-	logical, physical, bytesRead          uint64
-	admissions, promotions, scanEvictions uint64
-	cowCopies, snapReads, versionsRetired uint64
-	dirReads, chunkReads, blobBytes       uint64
-	streamCalls                           uint64
-	chunksWritten                         uint64
-	compWritten, compRead                 uint64
-	logicalWritten, logicalRead           uint64
-	walRecords, walBytes, walSyncs        uint64
-	walPiggybacks                         uint64
-}
-
-func diffStats(p0 pages.Stats, b0 blob.Stats, w0 wal.Stats, p1 pages.Stats, b1 blob.Stats, w1 wal.Stats) queryStats {
-	return queryStats{
-		logical:         p1.LogicalReads - p0.LogicalReads,
-		physical:        p1.PhysicalReads - p0.PhysicalReads,
-		bytesRead:       p1.BytesRead - p0.BytesRead,
-		admissions:      p1.Admissions - p0.Admissions,
-		promotions:      p1.Promotions - p0.Promotions,
-		scanEvictions:   p1.ScanEvictions - p0.ScanEvictions,
-		cowCopies:       p1.CowCopies - p0.CowCopies,
-		snapReads:       p1.SnapshotReads - p0.SnapshotReads,
-		versionsRetired: p1.VersionsRetired - p0.VersionsRetired,
-		dirReads:        b1.DirectoryReads - b0.DirectoryReads,
-		chunkReads:      b1.ChunkReads - b0.ChunkReads,
-		blobBytes:       b1.BytesRead - b0.BytesRead,
-		streamCalls:     b1.StreamCalls - b0.StreamCalls,
-		chunksWritten:   b1.ChunksWritten - b0.ChunksWritten,
-		compWritten:     b1.CompressedBytesWritten - b0.CompressedBytesWritten,
-		compRead:        b1.CompressedBytesRead - b0.CompressedBytesRead,
-		logicalWritten:  b1.BytesWritten - b0.BytesWritten,
-		logicalRead:     b1.BytesRead - b0.BytesRead,
-		walRecords:      w1.Records - w0.Records,
-		walBytes:        w1.BytesLogged - w0.BytesLogged,
-		walSyncs:        w1.Syncs - w0.Syncs,
-		walPiggybacks:   w1.GroupCommitPiggybacks - w0.GroupCommitPiggybacks,
-	}
-}
-
-func (q queryStats) print() {
+// printStats renders a registry snapshot delta in the shell's .stats
+// format. The delta spans every database attached to the registry —
+// the primary plus all shard members — which is what makes scatter
+// queries report their full I/O.
+func printStats(d obs.Snapshot) {
+	logical, physical := d.Get("pages.logical_reads"), d.Get("pages.physical_reads")
 	// A statement that read nothing has no meaningful hit ratio; the old
 	// "100.0%" default was a lie (and 0/0 in disguise).
 	hit := "n/a"
-	if q.logical > 0 {
-		hit = fmt.Sprintf("%.1f%%", 100*(1-float64(q.physical)/float64(q.logical)))
+	if logical > 0 {
+		hit = fmt.Sprintf("%.1f%%", 100*(1-float64(physical)/float64(logical)))
 	}
 	fmt.Printf("buffer pool: %d logical reads, %d physical (%s hit ratio), %s from disk\n",
-		q.logical, q.physical, hit, fmtBytes(q.bytesRead))
+		logical, physical, hit, fmtBytes(d.Get("pages.bytes_read")))
 	fmt.Printf("eviction:    %d admissions, %d promotions to protected, %d scan evictions\n",
-		q.admissions, q.promotions, q.scanEvictions)
+		d.Get("pages.admissions"), d.Get("pages.promotions"), d.Get("pages.scan_evictions"))
 	fmt.Printf("versions:    %d copy-on-write page copies, %d snapshot version reads, %d versions retired\n",
-		q.cowCopies, q.snapReads, q.versionsRetired)
+		d.Get("pages.cow_copies"), d.Get("pages.snapshot_reads"), d.Get("pages.versions_retired"))
 	fmt.Printf("blob store:  %d chunk reads, %d directory reads, %s of blob data, %d stream calls, %d chunks written\n",
-		q.chunkReads, q.dirReads, fmtBytes(q.blobBytes), q.streamCalls, q.chunksWritten)
-	if q.compWritten > 0 && q.logicalWritten > 0 {
+		d.Get("blob.chunk_reads"), d.Get("blob.directory_reads"),
+		fmtBytes(d.Get("blob.bytes_read")), d.Get("blob.stream_calls"), d.Get("blob.chunks_written"))
+	if cw, lw := d.Get("blob.compressed_bytes_written"), d.Get("blob.bytes_written"); cw > 0 && lw > 0 {
 		fmt.Printf("compression: wrote %s stored for %s logical (%.2fx)\n",
-			fmtBytes(q.compWritten), fmtBytes(q.logicalWritten),
-			float64(q.logicalWritten)/float64(q.compWritten))
+			fmtBytes(cw), fmtBytes(lw), float64(lw)/float64(cw))
 	}
-	if q.compRead > 0 && q.logicalRead > 0 {
+	if cr, lr := d.Get("blob.compressed_bytes_read"), d.Get("blob.bytes_read"); cr > 0 && lr > 0 {
 		fmt.Printf("compression: read %s stored for %s logical (%.2fx)\n",
-			fmtBytes(q.compRead), fmtBytes(q.logicalRead),
-			float64(q.logicalRead)/float64(q.compRead))
+			fmtBytes(cr), fmtBytes(lr), float64(lr)/float64(cr))
 	}
 	fmt.Printf("WAL:         %d records, %s logged, %d syncs, %d group-commit piggybacks\n",
-		q.walRecords, fmtBytes(q.walBytes), q.walSyncs, q.walPiggybacks)
+		d.Get("wal.records"), fmtBytes(d.Get("wal.bytes_logged")),
+		d.Get("wal.syncs"), d.Get("wal.group_commit_piggybacks"))
 }
 
 func fmtBytes(n uint64) string {
@@ -241,6 +339,19 @@ func createDemoTable(db *sqlarray.Database) error {
 		}
 	}
 	return nil
+}
+
+// printResult prints a materialized result (the scatter-gather path).
+func printResult(res *sqlarray.Result) {
+	fmt.Println(strings.Join(res.Columns, " | "))
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = renderValue(v)
+		}
+		fmt.Println(strings.Join(cells, " | "))
+	}
+	fmt.Printf("(%d row(s))\n", len(res.Rows))
 }
 
 // printRows streams the result: each row is printed as it comes off the

@@ -10,10 +10,14 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"time"
 
 	"sqlarray/internal/engine"
 	"sqlarray/internal/nbody"
+	"sqlarray/internal/obs"
 	"sqlarray/internal/octree"
+	"sqlarray/internal/sqlmini"
 )
 
 func main() {
@@ -46,6 +50,25 @@ func main() {
 	fmt.Printf("  row store:    %6d rows, %5d leaf pages\n", rStats.Rows, rStats.LeafPages)
 	fmt.Printf("  row reduction: %.0fx (the paper's 1.6e12 -> 1e9 argument at scale)\n",
 		float64(rStats.Rows)/float64(bStats.Rows))
+
+	// Slow-query log over the row-per-particle strawman: a full-scan
+	// aggregate touching every leaf page versus a point lookup riding
+	// the clustered index. With a 100µs threshold only the scan shows
+	// up, carrying its analyzed plan and I/O counters as a JSON line.
+	fmt.Printf("\nslow-query log (threshold 100µs; only the full scan trips it):\n")
+	slow := obs.NewSlowLog(os.Stdout)
+	opts := sqlmini.ExecOptions{
+		SlowQueryThreshold: 100 * time.Microsecond,
+		SlowQueryLog:       slow,
+	}
+	for _, q := range []string{
+		"SELECT COUNT(*), MAX(x) FROM rows WHERE x > 0.5",
+		"SELECT x, y, z FROM rows WHERE pid = 12345",
+	} {
+		if _, err := sqlmini.RunWith(db, q, opts); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	// FOF halos + merger links.
 	h0, err := nbody.FOF(snap0.Particles, 0.008, 20)

@@ -29,11 +29,29 @@ var Atomicfield = &Analyzer{
 }
 
 func isSyncAtomicType(t types.Type) bool {
+	// A pointer to an atomic-carrying type copies freely — only value
+	// copies tear the state out of the synchronization domain.
+	if _, isPtr := types.Unalias(t).(*types.Pointer); isPtr {
+		return false
+	}
 	n := namedOf(t)
 	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
 		return false
 	}
-	return n.Obj().Pkg().Path() == "sync/atomic"
+	switch n.Obj().Pkg().Path() {
+	case "sync/atomic":
+		return true
+	case "sqlarray/internal/obs", "obs":
+		// The obs metric handles embed sync/atomic values; copying one
+		// by value tears it out of the registry's synchronization
+		// domain exactly like copying the raw atomic would — and a
+		// copied handle silently stops feeding the registered series.
+		switch n.Obj().Name() {
+		case "Counter", "Gauge", "Histogram":
+			return true
+		}
+	}
+	return false
 }
 
 // markedFields collects struct fields whose declaration carries a

@@ -1,6 +1,10 @@
 package a
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"obs"
+)
 
 type counters struct {
 	hits atomic.Uint64
@@ -51,4 +55,59 @@ func goodPlain(c *counters) int {
 
 func suppressedRead(c *counters) uint64 {
 	return c.legacy //lint:allow atomicfield single-threaded startup path in this fixture
+}
+
+// obs handle misuse: the registry holds a pointer to each handle, so a
+// value copy silently forks the counter away from its series.
+type obsMetrics struct {
+	scans obs.Counter
+	open  obs.Gauge
+	lat   obs.Histogram
+}
+
+func badObsCounterCopy(m *obsMetrics) {
+	c := m.scans // want `copied by value`
+	_ = c
+}
+
+func badObsGaugeCopy(m *obsMetrics) obs.Gauge {
+	return m.open // want `copied by value`
+}
+
+func badObsHistogramCopy(m *obsMetrics) {
+	h := m.lat // want `copied by value`
+	_ = h
+}
+
+func badObsCompare(m *obsMetrics) bool {
+	return m.scans == m.scans // want `copied by value` `copied by value`
+}
+
+func goodObsUpdates(m *obsMetrics) uint64 {
+	m.scans.Inc()
+	m.open.Dec()
+	m.lat.Observe(5)
+	return m.scans.Load() + m.lat.Count()
+}
+
+func goodObsAttach(m *obsMetrics, r *obs.Registry) {
+	r.Attach("scans", &m.scans)
+	r.AttachGauge("open", &m.open)
+	r.AttachHistogram("lat", &m.lat)
+}
+
+// Pointer handles copy freely: only value copies detach a handle from
+// its registered series.
+type obsPointers struct {
+	lat *obs.Histogram
+	cnt *obs.Counter
+}
+
+func goodObsPointerCopies(m *obsPointers) *obs.Histogram {
+	c := m.cnt
+	_ = c
+	if m.lat != nil {
+		m.lat.Observe(5)
+	}
+	return m.lat
 }

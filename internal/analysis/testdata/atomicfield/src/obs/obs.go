@@ -1,0 +1,37 @@
+// Package obs mocks the real internal/obs metric handles: counters and
+// gauges embedding sync/atomic values, registered by pointer. Copying
+// one by value detaches it from its registered series.
+package obs
+
+import "sync/atomic"
+
+type Counter struct {
+	atomic.Uint64
+}
+
+func (c *Counter) Inc() { c.Add(1) }
+
+type Gauge struct {
+	atomic.Int64
+}
+
+func (g *Gauge) Inc() { g.Add(1) }
+func (g *Gauge) Dec() { g.Add(-1) }
+
+type Histogram struct {
+	buckets [4]Counter
+	count   Counter
+}
+
+func (h *Histogram) Observe(ns int64) {
+	h.buckets[0].Inc()
+	h.count.Inc()
+}
+
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+type Registry struct{}
+
+func (r *Registry) Attach(name string, c *Counter)            {}
+func (r *Registry) AttachGauge(name string, g *Gauge)         {}
+func (r *Registry) AttachHistogram(name string, h *Histogram) {}

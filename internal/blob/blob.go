@@ -32,8 +32,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 
+	"sqlarray/internal/obs"
 	"sqlarray/internal/pages"
 )
 
@@ -110,16 +110,33 @@ type Stats struct {
 // parallel scan workers concurrently, so plain-field increments would be
 // a data race (and were, before this was converted).
 type counters struct {
-	directoryReads         atomic.Uint64
-	chunkReads             atomic.Uint64
-	bytesRead              atomic.Uint64
-	chunksWritten          atomic.Uint64
-	bytesWritten           atomic.Uint64
-	streamCalls            atomic.Uint64
-	pagesFreed             atomic.Uint64
-	pagesReused            atomic.Uint64
-	compressedBytesWritten atomic.Uint64
-	compressedBytesRead    atomic.Uint64
+	directoryReads         obs.Counter
+	chunkReads             obs.Counter
+	bytesRead              obs.Counter
+	chunksWritten          obs.Counter
+	bytesWritten           obs.Counter
+	streamCalls            obs.Counter
+	pagesFreed             obs.Counter
+	pagesReused            obs.Counter
+	compressedBytesWritten obs.Counter
+	compressedBytesRead    obs.Counter
+}
+
+// RegisterMetrics attaches the store's counters to reg under the
+// "blob." prefix. WithFetcher views share the primary store's
+// counters, so snapshot-scan reads land in the same series.
+func (s *Store) RegisterMetrics(reg *obs.Registry) {
+	c := s.stats
+	reg.Attach("blob.directory_reads", &c.directoryReads)
+	reg.Attach("blob.chunk_reads", &c.chunkReads)
+	reg.Attach("blob.bytes_read", &c.bytesRead)
+	reg.Attach("blob.chunks_written", &c.chunksWritten)
+	reg.Attach("blob.bytes_written", &c.bytesWritten)
+	reg.Attach("blob.stream_calls", &c.streamCalls)
+	reg.Attach("blob.pages_freed", &c.pagesFreed)
+	reg.Attach("blob.pages_reused", &c.pagesReused)
+	reg.Attach("blob.compressed_bytes_written", &c.compressedBytesWritten)
+	reg.Attach("blob.compressed_bytes_read", &c.compressedBytesRead)
 }
 
 // Store reads and writes blobs over a buffer pool. It is safe for

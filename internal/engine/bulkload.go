@@ -206,6 +206,10 @@ func (t *Table) BulkLoad(src BulkSource, opts BulkOptions) (BulkStats, error) {
 	if err := tx.Commit(); err != nil {
 		return stats, err
 	}
+	db.m.bulkLoads.Inc()
+	db.m.bulkRows.Add(uint64(stats.Rows))
+	db.m.bulkLeafPages.Add(uint64(stats.LeafPages))
+	db.m.bulkBlobPages.Add(uint64(stats.BlobPages))
 	return stats, nil
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"sqlarray/internal/blob"
 	"sqlarray/internal/btree"
+	"sqlarray/internal/obs"
 	"sqlarray/internal/pages"
 	"sqlarray/internal/wal"
 )
@@ -27,6 +28,42 @@ type DB struct {
 	wal          *wal.Log
 	syncOnCommit bool
 	compress     bool // compress new blobs (per-element-type codec)
+
+	reg *obs.Registry
+	m   dbMetrics
+}
+
+// dbMetrics is the engine-level counter block: DML row counts, write
+// sessions, checkpoints and the bulk loader's page/row totals. Like
+// every other counter island these are obs handles attached to the
+// database's registry, so they show up in per-query trace deltas and
+// on the HTTP export alongside the pool/blob/WAL counters.
+type dbMetrics struct {
+	rowsInserted  obs.Counter
+	rowsUpdated   obs.Counter
+	rowsDeleted   obs.Counter
+	commits       obs.Counter
+	aborts        obs.Counter
+	checkpoints   obs.Counter
+	bulkLoads     obs.Counter
+	bulkRows      obs.Counter
+	bulkLeafPages obs.Counter
+	bulkBlobPages obs.Counter
+	snapshots     obs.Gauge // currently open MVCC snapshots
+}
+
+func (m *dbMetrics) register(reg *obs.Registry) {
+	reg.Attach("engine.rows_inserted", &m.rowsInserted)
+	reg.Attach("engine.rows_updated", &m.rowsUpdated)
+	reg.Attach("engine.rows_deleted", &m.rowsDeleted)
+	reg.Attach("engine.commits", &m.commits)
+	reg.Attach("engine.aborts", &m.aborts)
+	reg.Attach("engine.checkpoints", &m.checkpoints)
+	reg.Attach("engine.bulk_loads", &m.bulkLoads)
+	reg.Attach("engine.bulk_rows", &m.bulkRows)
+	reg.Attach("engine.bulk_leaf_pages", &m.bulkLeafPages)
+	reg.Attach("engine.bulk_blob_pages", &m.bulkBlobPages)
+	reg.AttachGauge("engine.open_snapshots", &m.snapshots)
 }
 
 // Options configures a database.
@@ -46,6 +83,11 @@ type Options struct {
 	// lose recent statements (never corrupt the database); Checkpoint
 	// and explicit SyncWAL still harden everything up to their point.
 	NoSyncOnCommit bool
+	// Metrics attaches the database to an existing obs.Registry instead
+	// of a private one. Partitioned stores open every member against one
+	// shared registry so member I/O folds into the same series — the fix
+	// for scatter queries undercounting in sqlsh `.stats`.
+	Metrics *obs.Registry
 	// DisableBlobCompression stores every blob in the raw chunk format.
 	// By default new MAX-column blobs are compressed per element type
 	// (float64 XOR-delta, byte-shuffled LZ for other fixed-width
@@ -76,7 +118,15 @@ func Open(opts Options) (*DB, error) {
 		syncOnCommit: !opts.NoSyncOnCommit,
 		compress:     !opts.DisableBlobCompression,
 	}
+	db.reg = opts.Metrics
+	if db.reg == nil {
+		db.reg = obs.New()
+	}
+	bp.RegisterMetrics(db.reg)
+	db.blobs.RegisterMetrics(db.reg)
+	db.m.register(db.reg)
 	if db.wal != nil {
+		db.wal.RegisterMetrics(db.reg)
 		if err := db.recover(); err != nil {
 			return nil, fmt.Errorf("engine: recovery: %w", err)
 		}
@@ -98,6 +148,11 @@ func NewDB(opts Options) *DB {
 
 // NewMemDB creates an in-memory database with default sizing.
 func NewMemDB() *DB { return NewDB(Options{}) }
+
+// Metrics returns the database's metrics registry (never nil). All
+// subsystem counters — pool, blob store, WAL, engine DML — are
+// registered here; obs.Handler serves it over HTTP.
+func (db *DB) Metrics() *obs.Registry { return db.reg }
 
 // Pool exposes the buffer pool (benchmarks read its I/O counters).
 func (db *DB) Pool() *pages.BufferPool { return db.bp }
@@ -181,14 +236,18 @@ func (db *DB) Checkpoint() error {
 		}
 	}
 	if db.wal == nil {
+		db.m.checkpoints.Inc()
 		return nil
 	}
 	payload, err := json.Marshal(db.catalogSnapshot())
 	if err != nil {
 		return err
 	}
-	_, err = db.wal.Checkpoint(payload)
-	return err
+	if _, err := db.wal.Checkpoint(payload); err != nil {
+		return err
+	}
+	db.m.checkpoints.Inc()
+	return nil
 }
 
 // catalogSnapshot captures every table's state with schemas — the

@@ -41,6 +41,7 @@ type Snapshot struct {
 // wait for it, and it never observes their uncommitted or later work.
 func (db *DB) Snapshot() *Snapshot {
 	ps := db.bp.AcquireSnapshot()
+	db.m.snapshots.Inc()
 	return &Snapshot{db: db, ps: ps, blobs: db.blobs.WithFetcher(ps)}
 }
 
@@ -49,6 +50,7 @@ func (db *DB) Snapshot() *Snapshot {
 func (s *Snapshot) Release() {
 	if s.released.CompareAndSwap(false, true) {
 		s.ps.Release()
+		s.db.m.snapshots.Dec()
 	}
 }
 

@@ -107,6 +107,7 @@ func (t *Table) InsertTx(tx *Tx, vals []Value) error {
 	t.rows.Add(1)
 	t.rowBytes.Add(int64(len(raw)))
 	t.blobBytes.Add(blobAdded)
+	t.db.m.rowsInserted.Inc()
 	return nil
 }
 
@@ -219,6 +220,7 @@ func (t *Table) UpdateTx(tx *Tx, key int64, cols []int, vals []Value) error {
 	}
 	t.rowBytes.Add(int64(len(newRaw)) - int64(len(raw)))
 	t.blobBytes.Add(blobDelta)
+	t.db.m.rowsUpdated.Inc()
 	return nil
 }
 
@@ -264,6 +266,7 @@ func (t *Table) DeleteTx(tx *Tx, key int64) error {
 	t.rows.Add(-1)
 	t.rowBytes.Add(-int64(len(raw)))
 	t.blobBytes.Add(-blobFreed)
+	t.db.m.rowsDeleted.Inc()
 	return nil
 }
 

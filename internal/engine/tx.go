@@ -223,6 +223,7 @@ func (tx *Tx) publish() {
 		t.publishMeta(tag)
 	}
 	tx.db.bp.FinishPublish(tag)
+	tx.db.m.commits.Inc()
 }
 
 // Abort discards the session: captured page copies are invalidated (the
@@ -237,6 +238,7 @@ func (tx *Tx) Abort() {
 		return
 	}
 	tx.done = true
+	tx.db.m.aborts.Inc()
 	defer tx.db.writeMu.Unlock()
 	tx.db.bp.EndCapture(tx.cap)
 	tx.db.bp.AbortCapture(tx.cap)

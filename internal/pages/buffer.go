@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"sqlarray/internal/obs"
 )
 
 // Stats is a snapshot of the buffer-pool I/O counters. PhysicalReads
@@ -37,21 +39,24 @@ type Stats struct {
 }
 
 // counters is the live, lock-free form of Stats. Every counter is an
-// atomic so hot paths (Fetch on a cache hit in particular) never
-// serialize on a statistics lock, and Stats() needs no lock at all.
+// obs handle (an atomic) so hot paths (Fetch on a cache hit in
+// particular) never serialize on a statistics lock, and Stats() needs
+// no lock at all. RegisterMetrics exposes the same handles through an
+// obs.Registry — the registry reads the live atomics, so registration
+// adds zero cost to the increment sites.
 type counters struct {
-	logicalReads    atomic.Uint64
-	physicalReads   atomic.Uint64
-	bytesRead       atomic.Uint64
-	writes          atomic.Uint64
-	bytesWritten    atomic.Uint64
-	evictions       atomic.Uint64
-	admissions      atomic.Uint64
-	promotions      atomic.Uint64
-	scanEvictions   atomic.Uint64
-	cowCopies       atomic.Uint64
-	snapshotReads   atomic.Uint64
-	versionsRetired atomic.Uint64
+	logicalReads    obs.Counter
+	physicalReads   obs.Counter
+	bytesRead       obs.Counter
+	writes          obs.Counter
+	bytesWritten    obs.Counter
+	evictions       obs.Counter
+	admissions      obs.Counter
+	promotions      obs.Counter
+	scanEvictions   obs.Counter
+	cowCopies       obs.Counter
+	snapshotReads   obs.Counter
+	versionsRetired obs.Counter
 }
 
 func (c *counters) snapshot() Stats {
@@ -427,6 +432,27 @@ func (bp *BufferPool) LogDirtyFrame(f *Frame, fn func(p *Page) (uint64, error)) 
 
 // Disk returns the underlying disk manager.
 func (bp *BufferPool) Disk() DiskManager { return bp.disk }
+
+// RegisterMetrics attaches the pool's I/O counters to reg under the
+// "pages." prefix, plus a computed pinned-frames gauge. Several pools
+// may attach to one registry (partition members); the registry sums
+// same-named counters on read.
+func (bp *BufferPool) RegisterMetrics(reg *obs.Registry) {
+	c := &bp.stats
+	reg.Attach("pages.logical_reads", &c.logicalReads)
+	reg.Attach("pages.physical_reads", &c.physicalReads)
+	reg.Attach("pages.bytes_read", &c.bytesRead)
+	reg.Attach("pages.writes", &c.writes)
+	reg.Attach("pages.bytes_written", &c.bytesWritten)
+	reg.Attach("pages.evictions", &c.evictions)
+	reg.Attach("pages.admissions", &c.admissions)
+	reg.Attach("pages.promotions", &c.promotions)
+	reg.Attach("pages.scan_evictions", &c.scanEvictions)
+	reg.Attach("pages.cow_copies", &c.cowCopies)
+	reg.Attach("pages.snapshot_reads", &c.snapshotReads)
+	reg.Attach("pages.versions_retired", &c.versionsRetired)
+	reg.Func("pages.pinned_frames", func() uint64 { return uint64(bp.PinnedFrames()) })
+}
 
 // Stats returns a snapshot of the I/O counters. Lock-free: counters are
 // atomics, so concurrent scans never stall on a stats reader.

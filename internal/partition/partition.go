@@ -219,6 +219,27 @@ func (s *Store) Query(query string, opts sqlmini.ExecOptions) (*sqlmini.Result, 
 	return sqlmini.ScatterRun(s.Partitions(), query, opts)
 }
 
+// Explain renders the scatter-gather plan for a query. It accepts
+// either "EXPLAIN [ANALYZE] SELECT ..." or a bare SELECT (treated as
+// plain EXPLAIN). ANALYZE executes the statement on every live member
+// and annotates the tree with per-partition runtime metrics.
+func (s *Store) Explain(query string, opts sqlmini.ExecOptions) (string, sqlmini.ScatterStats, error) {
+	stmt, err := sqlmini.ParseStatement(query)
+	if err != nil {
+		return "", sqlmini.ScatterStats{}, err
+	}
+	var ex *sqlmini.ExplainStmt
+	switch t := stmt.(type) {
+	case *sqlmini.ExplainStmt:
+		ex = t
+	case *sqlmini.SelectStmt:
+		ex = &sqlmini.ExplainStmt{Stmt: t}
+	default:
+		return "", sqlmini.ScatterStats{}, fmt.Errorf("partition: Explain supports SELECT, got %T", stmt)
+	}
+	return sqlmini.ScatterExplain(s.Partitions(), ex, opts)
+}
+
 // Rows sums the table's row count over the members.
 func (s *Store) Rows(table string) (int64, error) {
 	var n int64

@@ -11,10 +11,21 @@ type Statement interface {
 	stmtNode()
 }
 
-func (*SelectStmt) stmtNode() {}
-func (*InsertStmt) stmtNode() {}
-func (*UpdateStmt) stmtNode() {}
-func (*DeleteStmt) stmtNode() {}
+func (*SelectStmt) stmtNode()  {}
+func (*InsertStmt) stmtNode()  {}
+func (*UpdateStmt) stmtNode()  {}
+func (*DeleteStmt) stmtNode()  {}
+func (*ExplainStmt) stmtNode() {}
+
+// ExplainStmt is EXPLAIN [ANALYZE] <select>. Plain EXPLAIN renders the
+// compiled plan tree without running the query; EXPLAIN ANALYZE runs
+// it with per-operator instrumentation and renders the annotated tree
+// plus an execution summary. Only SELECT targets are supported — DML
+// plans are degenerate (one scan) and not worth a renderer yet.
+type ExplainStmt struct {
+	Analyze bool
+	Stmt    *SelectStmt
+}
 
 // InsertStmt is INSERT INTO t [(col, ...)] VALUES (expr, ...)[, ...].
 // Without a column list the tuples are positional over the full schema.

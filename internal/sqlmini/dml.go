@@ -30,10 +30,11 @@ import (
 // in-row bytes for short arrays.
 
 // ExecResult is the outcome of Execute: a materialized result set for
-// SELECT, a rows-affected count for DML.
+// SELECT, a rows-affected count for DML, a rendered plan for EXPLAIN.
 type ExecResult struct {
-	Result       *Result // nil for DML statements
+	Result       *Result // nil for DML and EXPLAIN statements
 	RowsAffected int64
+	Plan         string // rendered plan tree for EXPLAIN [ANALYZE]
 }
 
 // Execute parses and runs any supported statement.
@@ -61,6 +62,8 @@ func ExecuteStmt(db *engine.DB, stmt Statement, opts ExecOptions) (*ExecResult, 
 			return nil, err
 		}
 		return &ExecResult{Result: res, RowsAffected: int64(len(res.Rows))}, nil
+	case *ExplainStmt:
+		return execExplain(db, s, opts)
 	case *InsertStmt:
 		return execInsert(db, s)
 	case *UpdateStmt:

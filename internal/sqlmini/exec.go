@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"time"
 
 	"sqlarray/internal/engine"
+	"sqlarray/internal/obs"
 )
 
 // Result is a fully materialized query result.
@@ -109,11 +111,33 @@ func StreamWith(db *engine.DB, stmt *SelectStmt, opts ExecOptions) (*Rows, error
 	if err != nil {
 		return fail(err)
 	}
+	r := &Rows{columns: pl.columns, root: pl.root, plan: pl.plan}
+	// Every query feeds the shared latency histogram; the heavier trace
+	// state (registry snapshot for deltas, slow-log plumbing) is set up
+	// only when this query is instrumented.
+	r.lat = db.Metrics().Histogram("sql.query_latency")
+	if opts.instrumented() {
+		r.reg = db.Metrics()
+		r.trace = opts.Trace
+		if r.trace == nil {
+			r.trace = &obs.QueryTrace{}
+		}
+		if r.trace.SQL == "" {
+			r.trace.SQL = selectString(stmt)
+		}
+		r.slowThreshold = opts.SlowQueryThreshold
+		r.slowLog = opts.SlowQueryLog
+		// Captured before open: the B+tree descent and every page the
+		// pipeline reads land in the delta, so the root plan node's
+		// inclusive page count matches it.
+		r.before = r.reg.Snapshot()
+		r.trace.Start = time.Now()
+	}
+	r.started = time.Now()
 	if err := pl.root.open(); err != nil {
 		pl.root.close()
 		return fail(err)
 	}
-	r := &Rows{columns: pl.columns, root: pl.root}
 	if owned {
 		r.snap = snap
 	}
@@ -139,6 +163,18 @@ type Rows struct {
 	err      error
 	closed   bool
 	closeErr error
+
+	// Observability: the query's plan tree, the shared latency
+	// histogram, and — for instrumented queries only — the trace to
+	// finalize on Close plus the registry state to diff against.
+	plan          *obs.PlanNode
+	lat           *obs.Histogram
+	started       time.Time
+	reg           *obs.Registry
+	trace         *obs.QueryTrace
+	before        obs.Snapshot
+	slowThreshold time.Duration
+	slowLog       *obs.SlowLog
 }
 
 // Columns returns the output column names.
@@ -185,7 +221,31 @@ func (r *Rows) Close() error {
 		// pages), so superseded page versions can retire.
 		r.snap.Release()
 	}
+	r.finalize()
 	return r.closeErr
+}
+
+// finalize records the query's latency and, for instrumented queries,
+// completes the trace (duration, annotated plan, registry deltas) and
+// emits the slow-query log entry when the threshold was crossed.
+func (r *Rows) finalize() {
+	d := time.Since(r.started)
+	if r.lat != nil {
+		r.lat.Observe(d)
+	}
+	if r.trace == nil {
+		return
+	}
+	r.trace.Duration = d
+	r.trace.Plan = r.plan
+	r.trace.Delta = r.reg.Snapshot().Delta(r.before)
+	if r.slowThreshold > 0 && d >= r.slowThreshold {
+		log := r.slowLog
+		if log == nil {
+			log = obs.DefaultSlowLog
+		}
+		log.Log(r.trace)
+	}
 }
 
 // ---- plan-time compilation -------------------------------------------

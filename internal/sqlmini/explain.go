@@ -1,0 +1,203 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sqlarray/internal/engine"
+	"sqlarray/internal/obs"
+)
+
+// EXPLAIN and EXPLAIN ANALYZE.
+//
+// EXPLAIN compiles the statement through the real planner — sargable
+// analysis, parallel-aggregate decision, batch-vs-row selection all
+// run — and renders the plan tree the executor would use, without
+// opening the pipeline. EXPLAIN ANALYZE executes the statement with
+// every operator wrapped in an analyze shim that counts rows and
+// batches, accumulates wall time, and attributes buffer-pool page and
+// blob-chunk reads to its subtree by sampling the database's live
+// counters around each child call. Metrics are inclusive of children
+// (the root's totals equal the whole query's pool delta); attribution
+// assumes no concurrent query is driving the same counters, the usual
+// profiling caveat.
+
+// batchAnalyzeOp instruments one batch operator. It is transparent:
+// open/close forward untouched, nextBatch samples the I/O counters and
+// the clock around the child call.
+type batchAnalyzeOp struct {
+	child  batchOperator
+	node   *obs.PlanNode
+	sample func() (uint64, uint64)
+}
+
+func (a *batchAnalyzeOp) open() error {
+	p0, c0 := a.sample()
+	start := time.Now()
+	err := a.child.open()
+	a.node.Time += time.Since(start)
+	p1, c1 := a.sample()
+	a.node.Pages += p1 - p0
+	a.node.Chunks += c1 - c0
+	return err
+}
+
+func (a *batchAnalyzeOp) nextBatch(b *Batch) (int, error) {
+	p0, c0 := a.sample()
+	start := time.Now()
+	n, err := a.child.nextBatch(b)
+	a.node.Time += time.Since(start)
+	p1, c1 := a.sample()
+	a.node.Pages += p1 - p0
+	a.node.Chunks += c1 - c0
+	if n > 0 {
+		a.node.Rows += int64(n)
+		a.node.Batches++
+	}
+	return n, err
+}
+
+func (a *batchAnalyzeOp) close() error { return a.child.close() }
+
+// rowAnalyzeOp is batchAnalyzeOp for the row-at-a-time pipeline; every
+// produced row counts as its own "batch" of one.
+type rowAnalyzeOp struct {
+	child  operator
+	node   *obs.PlanNode
+	sample func() (uint64, uint64)
+}
+
+func (a *rowAnalyzeOp) open() error {
+	p0, c0 := a.sample()
+	start := time.Now()
+	err := a.child.open()
+	a.node.Time += time.Since(start)
+	p1, c1 := a.sample()
+	a.node.Pages += p1 - p0
+	a.node.Chunks += c1 - c0
+	return err
+}
+
+func (a *rowAnalyzeOp) next() (*rowCtx, error) {
+	p0, c0 := a.sample()
+	start := time.Now()
+	ctx, err := a.child.next()
+	a.node.Time += time.Since(start)
+	p1, c1 := a.sample()
+	a.node.Pages += p1 - p0
+	a.node.Chunks += c1 - c0
+	if ctx != nil {
+		a.node.Rows++
+		a.node.Batches++
+	}
+	return ctx, err
+}
+
+func (a *rowAnalyzeOp) close() error { return a.child.close() }
+
+// Explain compiles stmt against db and returns the plan tree the
+// executor would run, without executing it. The snapshot the planner
+// consults (row counts steer the parallel-aggregate decision) is
+// released before returning unless the caller provided one.
+func Explain(db *engine.DB, stmt *SelectStmt, opts ExecOptions) (*obs.PlanNode, error) {
+	opts.Trace = nil
+	opts.SlowQueryThreshold = 0
+	tbl, err := db.Table(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	snap := opts.Snapshot
+	if snap == nil {
+		snap = db.Snapshot()
+		defer snap.Release()
+	}
+	// The operators are constructed but never opened: no cursors, no
+	// pins, nothing to close.
+	pl, err := buildPipeline(db, tbl, stmt, snap, opts)
+	if err != nil {
+		return nil, err
+	}
+	return pl.plan, nil
+}
+
+// ExplainAnalyze executes stmt with per-operator instrumentation,
+// discards the result rows, and returns the completed trace: annotated
+// plan, wall time, registry deltas.
+func ExplainAnalyze(db *engine.DB, stmt *SelectStmt, opts ExecOptions) (*obs.QueryTrace, error) {
+	trace := opts.Trace
+	if trace == nil {
+		trace = &obs.QueryTrace{}
+		opts.Trace = trace
+	}
+	rows, err := StreamWith(db, stmt, opts)
+	if err != nil {
+		return nil, err
+	}
+	for rows.Next() {
+	}
+	drainErr := rows.Err()
+	if err := rows.Close(); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	if drainErr != nil {
+		return nil, drainErr
+	}
+	return trace, nil
+}
+
+// execExplain runs an EXPLAIN [ANALYZE] statement, returning the
+// rendered plan in ExecResult.Plan.
+func execExplain(db *engine.DB, st *ExplainStmt, opts ExecOptions) (*ExecResult, error) {
+	if !st.Analyze {
+		plan, err := Explain(db, st.Stmt, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &ExecResult{Plan: plan.Render()}, nil
+	}
+	trace, err := ExplainAnalyze(db, st.Stmt, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &ExecResult{Plan: trace.Plan.Render() + "\n" + analyzeSummary(trace)}, nil
+}
+
+// analyzeSummary renders the trailer lines under an EXPLAIN ANALYZE
+// tree: total time plus the registry deltas the query caused.
+func analyzeSummary(t *obs.QueryTrace) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Execution time: %s\n", t.Duration.Round(time.Microsecond))
+	fmt.Fprintf(&b, "Pages read: %d (physical %d)\n",
+		t.Delta.Get("pages.logical_reads"), t.Delta.Get("pages.physical_reads"))
+	fmt.Fprintf(&b, "Blob chunk reads: %d\n", t.Delta.Get("blob.chunk_reads"))
+	fmt.Fprintf(&b, "WAL records: %d", t.Delta.Get("wal.records"))
+	return b.String()
+}
+
+// selectString reconstructs the statement text for traces; callers that
+// parsed from source never kept the original string.
+func selectString(stmt *SelectStmt) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if stmt.Top > 0 {
+		fmt.Fprintf(&b, "TOP %d ", stmt.Top)
+	}
+	for i, it := range stmt.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(ExprString(it.Expr))
+		if it.Alias != "" {
+			b.WriteString(" AS ")
+			b.WriteString(it.Alias)
+		}
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(stmt.Table)
+	if stmt.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(ExprString(stmt.Where))
+	}
+	return b.String()
+}

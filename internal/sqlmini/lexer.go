@@ -30,6 +30,7 @@ var keywords = map[string]bool{
 	"AVG": true, "MIN": true, "MAX": true, "LIMIT": true,
 	"INSERT": true, "INTO": true, "VALUES": true,
 	"UPDATE": true, "SET": true, "DELETE": true,
+	"EXPLAIN": true, "ANALYZE": true,
 }
 
 type token struct {

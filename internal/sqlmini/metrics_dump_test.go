@@ -1,0 +1,53 @@
+package sqlmini
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// TestMetricsSnapshotDump runs a small representative workload (bulk
+// load, point lookup, range scan, full-table aggregate) and prints the
+// engine-wide registry snapshot as parseable `metrics-snapshot:` lines.
+// The CI benchmark-smoke step greps these into bench.txt so each run's
+// artifact carries the I/O counters next to the ns/op numbers — a perf
+// regression in the trend line can then be read against what the engine
+// actually did (pages touched, WAL records, rows moved), not just how
+// long it took.
+func TestMetricsSnapshotDump(t *testing.T) {
+	db, _ := bigDB(t, 20000)
+	reg := db.Metrics()
+	before := reg.Snapshot()
+
+	for _, q := range []string{
+		"SELECT v FROM big WHERE id = 7777",
+		"SELECT id, v FROM big WHERE id >= 100 AND id < 1100",
+		"SELECT COUNT(*), SUM(v) FROM big",
+	} {
+		if _, err := Run(db, q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+
+	d := reg.Snapshot().Delta(before)
+	names := make([]string, 0, len(d))
+	for name := range d {
+		if d[name] == 0 {
+			continue // keep the artifact to the counters the workload moved
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatal("workload moved no registry counters")
+	}
+	for _, name := range names {
+		fmt.Printf("metrics-snapshot: name=%s value=%d\n", name, d[name])
+	}
+	// The lines above only matter if the snapshot reflects real work.
+	for _, must := range []string{"pages.logical_reads", "sql.query_latency.count"} {
+		if d.Get(must) == 0 {
+			t.Errorf("%s = 0 after point + range + aggregate queries", must)
+		}
+	}
+}

@@ -40,14 +40,32 @@ func ParseStatement(src string) (Statement, error) {
 		stmt, err = p.updateStmt()
 	case t.kind == tokKeyword && t.text == "DELETE":
 		stmt, err = p.deleteStmt()
+	case t.kind == tokKeyword && t.text == "EXPLAIN":
+		stmt, err = p.explainStmt()
 	default:
-		return nil, errAt(t.pos, "expected SELECT, INSERT, UPDATE or DELETE, got %q", t.text)
+		return nil, errAt(t.pos, "expected SELECT, INSERT, UPDATE, DELETE or EXPLAIN, got %q", t.text)
 	}
 	if err != nil {
 		return nil, err
 	}
 	if !p.atEOF() {
 		return nil, errAt(p.peek().pos, "unexpected %q after statement", p.peek().text)
+	}
+	return stmt, nil
+}
+
+// explainStmt parses EXPLAIN [ANALYZE] <select>.
+func (p *parser) explainStmt() (*ExplainStmt, error) {
+	if err := p.expectKeyword("EXPLAIN"); err != nil {
+		return nil, err
+	}
+	stmt := &ExplainStmt{Analyze: p.acceptKeyword("ANALYZE")}
+	if t := p.peek(); !(t.kind == tokKeyword && t.text == "SELECT") {
+		return nil, errAt(t.pos, "EXPLAIN supports SELECT only, got %q", t.text)
+	}
+	var err error
+	if stmt.Stmt, err = p.selectStmt(); err != nil {
+		return nil, err
 	}
 	return stmt, nil
 }

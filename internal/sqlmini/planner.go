@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"strings"
+	"time"
 
 	"sqlarray/internal/engine"
+	"sqlarray/internal/obs"
 )
 
 // This file lowers a parsed SelectStmt into an operator pipeline:
@@ -50,6 +53,28 @@ type ExecOptions struct {
 	// ownership: Rows.Close does not release it. When nil, every query
 	// acquires its own snapshot at open and releases it at Close.
 	Snapshot *engine.Snapshot
+	// Trace, when non-nil, turns on per-operator instrumentation and is
+	// filled in when the query's Rows close: the annotated plan tree,
+	// the wall time, and the registry counter deltas the query caused.
+	// EXPLAIN ANALYZE is a rendering of this trace. Instrumentation
+	// costs two counter samples and a clock read per operator batch;
+	// with Trace nil and no slow-query threshold the pipeline runs
+	// exactly as before.
+	Trace *obs.QueryTrace
+	// SlowQueryThreshold, when positive, instruments the query like
+	// Trace does and — if the query's wall time reaches the threshold —
+	// emits the ANALYZE-style summary to SlowQueryLog as one structured
+	// JSON line.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives slow-query entries. Nil with a positive
+	// threshold falls back to obs.DefaultSlowLog (stderr).
+	SlowQueryLog *obs.SlowLog
+}
+
+// instrumented reports whether the pipeline should carry per-operator
+// instrumentation.
+func (o ExecOptions) instrumented() bool {
+	return o.Trace != nil || o.SlowQueryThreshold > 0
 }
 
 const defaultParallelThreshold = 8192
@@ -273,10 +298,95 @@ func boundsFor(op string, k float64) (keyBounds, bool) {
 
 // ---- pipeline construction ----------------------------------------------
 
-// pipeline is a ready-to-run operator tree plus its output shape.
+// pipeline is a ready-to-run operator tree plus its output shape and
+// the plan tree describing it (rendered by EXPLAIN, annotated in place
+// by the analyze wrappers when the pipeline is instrumented).
 type pipeline struct {
 	root    operator
 	columns []string
+	plan    *obs.PlanNode
+}
+
+// planState threads plan-node construction and optional operator
+// instrumentation through pipeline assembly. When instrumenting, every
+// operator is wrapped in an analyze shim that counts rows/batches,
+// accumulates wall time, and attributes buffer-pool and blob-chunk
+// reads to its subtree by sampling the database's live counters around
+// each child call (see explain.go).
+type planState struct {
+	instrument bool
+	sample     func() (pagesRead, chunkReads uint64)
+}
+
+func newPlanState(db *engine.DB, opts ExecOptions) *planState {
+	ps := &planState{instrument: opts.instrumented()}
+	if ps.instrument {
+		ps.sample = func() (uint64, uint64) {
+			return db.Pool().Stats().LogicalReads, db.Blobs().Stats().ChunkReads
+		}
+	}
+	return ps
+}
+
+func (ps *planState) batch(op batchOperator, n *obs.PlanNode) batchOperator {
+	if !ps.instrument {
+		return op
+	}
+	n.Analyzed = true
+	return &batchAnalyzeOp{child: op, node: n, sample: ps.sample}
+}
+
+func (ps *planState) row(op operator, n *obs.PlanNode) operator {
+	if !ps.instrument {
+		return op
+	}
+	n.Analyzed = true
+	return &rowAnalyzeOp{child: op, node: n, sample: ps.sample}
+}
+
+// scanPlanNode describes the access path the scan operator was given:
+// the sargable analysis collapses to a point lookup, a range scan, a
+// full scan, or a provably empty range.
+func scanPlanNode(table string, b keyBounds) *obs.PlanNode {
+	var kind string
+	switch {
+	case b.empty:
+		kind = "empty range"
+	case b.hasLo && b.hasHi && b.lo == b.hi:
+		kind = fmt.Sprintf("point lookup key=%d", b.lo)
+	case b.hasLo || b.hasHi:
+		lo, hi := "-inf", "+inf"
+		if b.hasLo {
+			lo = fmt.Sprint(b.lo)
+		}
+		if b.hasHi {
+			hi = fmt.Sprint(b.hi)
+		}
+		kind = fmt.Sprintf("range scan keys [%s, %s]", lo, hi)
+	default:
+		kind = "full scan"
+	}
+	return &obs.PlanNode{Name: "Scan", Detail: fmt.Sprintf("on %s (%s)", table, kind)}
+}
+
+func parallelAggPlanNode(table string, lo, hi int64, workers int, residual Expr) *obs.PlanNode {
+	n := &obs.PlanNode{
+		Name:   "Parallel Aggregate Scan",
+		Detail: fmt.Sprintf("on %s (range scan keys [%d, %d])", table, lo, hi),
+	}
+	n.AddExtra("workers", "%d", workers)
+	if residual != nil {
+		n.AddExtra("filter", "%s", ExprString(residual))
+	}
+	return n
+}
+
+func projectPlanNode(columns []string, child *obs.PlanNode) *obs.PlanNode {
+	return &obs.PlanNode{
+		Name:     "Project",
+		Detail:   "[" + strings.Join(columns, ", ") + "]",
+		Children: []*obs.PlanNode{child},
+	}
 }
 
 // compiledStmt is the outcome of compiling a statement's expressions.
@@ -350,14 +460,17 @@ func buildPipeline(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, snap *eng
 		lo, hi = 1, 0 // empty range: the scan yields nothing
 	}
 
+	ps := newPlanState(db, opts)
 	if opts.RowPipeline {
-		return buildRowPipeline(db, tbl, stmt, residual, cs, snap, lo, hi, bounds.empty, opts), nil
+		return buildRowPipeline(db, tbl, stmt, residual, cs, snap, lo, hi, bounds, opts, ps), nil
 	}
 
 	var root batchOperator
+	var plan *obs.PlanNode
 	if cs.aggregate && !bounds.empty {
 		if plo, phi, workers, ok := parallelAggSpan(tbl, snap, lo, hi, opts); ok {
-			root = &batchParallelAggOp{
+			plan = parallelAggPlanNode(tbl.Name(), plo, phi, workers, residual)
+			root = ps.batch(&batchParallelAggOp{
 				tbl:       tbl,
 				snap:      snap,
 				qctx:      opts.Ctx,
@@ -368,24 +481,32 @@ func buildPipeline(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, snap *eng
 				need:      cs.used,
 				accs:      cs.accs,
 				newWorker: newWorkerFunc(db, tbl, stmt, residual, snap),
-			}
+			}, plan)
 		}
 	}
 	if root == nil {
-		root = &batchScanOp{tbl: tbl, snap: snap, qctx: opts.Ctx, lo: lo, hi: hi, need: cs.used}
+		plan = scanPlanNode(tbl.Name(), bounds)
+		root = ps.batch(&batchScanOp{tbl: tbl, snap: snap, qctx: opts.Ctx, lo: lo, hi: hi, need: cs.used}, plan)
 		if cs.where != nil {
-			root = &batchFilterOp{child: root, qctx: opts.Ctx, pred: cs.where}
+			fn := &obs.PlanNode{Name: "Filter", Detail: ExprString(residual), Children: []*obs.PlanNode{plan}}
+			root = ps.batch(&batchFilterOp{child: root, qctx: opts.Ctx, pred: cs.where}, fn)
+			plan = fn
 		}
 		if cs.aggregate {
-			root = &batchAggOp{child: root, qctx: opts.Ctx, accs: cs.accs}
+			an := &obs.PlanNode{Name: "Aggregate", Children: []*obs.PlanNode{plan}}
+			root = ps.batch(&batchAggOp{child: root, qctx: opts.Ctx, accs: cs.accs}, an)
+			plan = an
 		}
 	}
-	root = &batchProjectOp{child: root, items: cs.items}
+	plan = projectPlanNode(cs.columns, plan)
+	root = ps.batch(&batchProjectOp{child: root, items: cs.items}, plan)
 	// TOP n on an aggregate plan is vacuous (exactly one row is emitted,
 	// and the parser guarantees n >= 1); omitting the limit keeps its
 	// downward cap clip from shrinking the aggregate's scan batches.
 	if stmt.Top > 0 && !cs.aggregate {
-		root = &batchLimitOp{child: root, n: stmt.Top, clip: cs.where == nil}
+		ln := &obs.PlanNode{Name: "Limit", Detail: fmt.Sprintf("TOP %d", stmt.Top), Children: []*obs.PlanNode{plan}}
+		root = ps.batch(&batchLimitOp{child: root, n: stmt.Top, clip: cs.where == nil}, ln)
+		plan = ln
 	}
 	drain := &batchDrainOp{
 		root:      root,
@@ -393,16 +514,19 @@ func buildPipeline(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, snap *eng
 		batchSize: opts.batchSize(),
 		b:         newBatch(len(tbl.Schema().Columns)),
 	}
-	return &pipeline{root: drain, columns: cs.columns}, nil
+	plan.AddExtra("pipeline", "batch")
+	return &pipeline{root: drain, columns: cs.columns, plan: plan}, nil
 }
 
 // buildRowPipeline assembles the legacy row-at-a-time operator tree.
 func buildRowPipeline(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, residual Expr,
-	cs *compiledStmt, snap *engine.Snapshot, lo, hi int64, empty bool, opts ExecOptions) *pipeline {
+	cs *compiledStmt, snap *engine.Snapshot, lo, hi int64, bounds keyBounds, opts ExecOptions, ps *planState) *pipeline {
 	var root operator
-	if cs.aggregate && !empty {
+	var plan *obs.PlanNode
+	if cs.aggregate && !bounds.empty {
 		if plo, phi, workers, ok := parallelAggSpan(tbl, snap, lo, hi, opts); ok {
-			root = &parallelAggOp{
+			plan = parallelAggPlanNode(tbl.Name(), plo, phi, workers, residual)
+			root = ps.row(&parallelAggOp{
 				tbl:       tbl,
 				snap:      snap,
 				qctx:      opts.Ctx,
@@ -411,23 +535,32 @@ func buildRowPipeline(db *engine.DB, tbl *engine.Table, stmt *SelectStmt, residu
 				workers:   workers,
 				accs:      cs.accs,
 				newWorker: newWorkerFunc(db, tbl, stmt, residual, snap),
-			}
+			}, plan)
 		}
 	}
 	if root == nil {
-		root = &scanOp{tbl: tbl, snap: snap, qctx: opts.Ctx, lo: lo, hi: hi}
+		plan = scanPlanNode(tbl.Name(), bounds)
+		root = ps.row(&scanOp{tbl: tbl, snap: snap, qctx: opts.Ctx, lo: lo, hi: hi}, plan)
 		if cs.where != nil {
-			root = &filterOp{child: root, qctx: opts.Ctx, pred: cs.where}
+			fn := &obs.PlanNode{Name: "Filter", Detail: ExprString(residual), Children: []*obs.PlanNode{plan}}
+			root = ps.row(&filterOp{child: root, qctx: opts.Ctx, pred: cs.where}, fn)
+			plan = fn
 		}
 		if cs.aggregate {
-			root = &aggregateOp{child: root, qctx: opts.Ctx, accs: cs.accs}
+			an := &obs.PlanNode{Name: "Aggregate", Children: []*obs.PlanNode{plan}}
+			root = ps.row(&aggregateOp{child: root, qctx: opts.Ctx, accs: cs.accs}, an)
+			plan = an
 		}
 	}
-	root = &projectOp{child: root, items: cs.items}
+	plan = projectPlanNode(cs.columns, plan)
+	root = ps.row(&projectOp{child: root, items: cs.items}, plan)
 	if stmt.Top > 0 {
-		root = &limitOp{child: root, n: stmt.Top}
+		ln := &obs.PlanNode{Name: "Limit", Detail: fmt.Sprintf("TOP %d", stmt.Top), Children: []*obs.PlanNode{plan}}
+		root = ps.row(&limitOp{child: root, n: stmt.Top}, ln)
+		plan = ln
 	}
-	return &pipeline{root: root, columns: cs.columns}
+	plan.AddExtra("pipeline", "row")
+	return &pipeline{root: root, columns: cs.columns, plan: plan}
 }
 
 // newWorkerFunc builds the per-worker compile closure of a parallel

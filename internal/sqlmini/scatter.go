@@ -2,9 +2,12 @@ package sqlmini
 
 import (
 	"fmt"
+	"math"
 	"sync"
+	"time"
 
 	"sqlarray/internal/engine"
+	"sqlarray/internal/obs"
 )
 
 // Scatter-gather execution over a partitioned table: the table's rows
@@ -33,9 +36,63 @@ type Partition struct {
 
 // ScatterStats reports how much of the table a scatter execution
 // actually touched.
+//
+// Stats are assembled merge-after-join: each worker goroutine writes
+// only its own result slot and the sums are taken after the WaitGroup
+// join, so nothing in a ScatterStats is ever written concurrently.
+// Concurrent scatter queries each get an independent value and may
+// read it freely.
 type ScatterStats struct {
 	Partitions int // members of the partitioned table
 	Scanned    int // partitions that survived key-range pruning
+
+	// PartRows holds the rows gathered from each live (unpruned)
+	// partition, in partition order. Filled by plain selects and by
+	// EXPLAIN ANALYZE; aggregate queries gather partial accumulators,
+	// not rows, and leave it nil.
+	PartRows []int64
+	// RowsGathered is the sum of PartRows before TOP is re-applied to
+	// the gathered whole.
+	RowsGathered int64
+}
+
+// scatterPlan is the shared front half of scatter execution: schema
+// checks, sargable bounds extraction and partition pruning.
+type scatterPlan struct {
+	tbl0   *engine.Table
+	schema *engine.Schema
+	bounds keyBounds
+	live   []Partition
+	stats  ScatterStats
+}
+
+// planScatter prunes partitions whose key range cannot intersect the
+// statement's sargable WHERE bounds: they are never opened, never
+// snapshotted, never scanned.
+func planScatter(parts []Partition, stmt *SelectStmt) (scatterPlan, error) {
+	sp := scatterPlan{stats: ScatterStats{Partitions: len(parts)}}
+	if len(parts) == 0 {
+		return sp, fmt.Errorf("sql: scatter over zero partitions")
+	}
+	tbl0, err := parts[0].DB.Table(stmt.Table)
+	if err != nil {
+		return sp, err
+	}
+	sp.tbl0 = tbl0
+	sp.schema = tbl0.Schema()
+	sp.bounds = unboundedKeys()
+	if stmt.Where != nil && !hasAggregate(stmt.Where) {
+		sp.bounds, _ = extractKeyBounds(stmt.Where, sp.schema)
+	}
+	if !sp.bounds.empty {
+		for _, p := range parts {
+			if p.Hi >= sp.bounds.loKey() && p.Lo <= sp.bounds.hiKey() {
+				sp.live = append(sp.live, p)
+			}
+		}
+	}
+	sp.stats.Scanned = len(sp.live)
+	return sp, nil
 }
 
 // ScatterRun parses and executes one SELECT across the partitions of a
@@ -51,42 +108,125 @@ func ScatterRun(parts []Partition, query string, opts ExecOptions) (*Result, Sca
 
 // ScatterExec is ScatterRun on a parsed statement.
 func ScatterExec(parts []Partition, stmt *SelectStmt, opts ExecOptions) (*Result, ScatterStats, error) {
-	stats := ScatterStats{Partitions: len(parts)}
-	if len(parts) == 0 {
-		return nil, stats, fmt.Errorf("sql: scatter over zero partitions")
-	}
-	tbl0, err := parts[0].DB.Table(stmt.Table)
+	sp, err := planScatter(parts, stmt)
 	if err != nil {
-		return nil, stats, err
+		return nil, sp.stats, err
 	}
-	schema := tbl0.Schema()
-
-	// Sargable pruning: partitions whose key range cannot intersect the
-	// WHERE bounds are never opened, never snapshotted, never scanned.
-	bounds := unboundedKeys()
-	if stmt.Where != nil && !hasAggregate(stmt.Where) {
-		bounds, _ = extractKeyBounds(stmt.Where, schema)
-	}
-	var live []Partition
-	if !bounds.empty {
-		for _, p := range parts {
-			if p.Hi >= bounds.loKey() && p.Lo <= bounds.hiKey() {
-				live = append(live, p)
-			}
-		}
-	}
-	stats.Scanned = len(live)
-
 	aggregate := false
 	for _, it := range stmt.Items {
 		aggregate = aggregate || hasAggregate(it.Expr)
 	}
 	if aggregate {
-		res, err := scatterAggregate(live, parts[0].DB, tbl0, stmt, schema, opts)
-		return res, stats, err
+		res, err := scatterAggregate(sp.live, parts[0].DB, sp.tbl0, stmt, sp.schema, opts)
+		return res, sp.stats, err
 	}
-	res, err := scatterSelect(live, stmt, opts)
-	return res, stats, err
+	res, partRows, err := scatterSelect(sp.live, stmt, opts)
+	if err != nil {
+		return nil, sp.stats, err
+	}
+	sp.stats.PartRows = partRows
+	for _, n := range partRows {
+		sp.stats.RowsGathered += n
+	}
+	return res, sp.stats, nil
+}
+
+// ScatterExplain renders the scatter-gather plan for one EXPLAIN
+// [ANALYZE] SELECT across the partitions: a Gather root annotated with
+// the pruning outcome, one Partition subtree per live member. Plain
+// EXPLAIN compiles each member's plan without executing anything;
+// ANALYZE runs the statement per member on worker goroutines — every
+// trace lands in its own slot and the Gather totals are summed after
+// the join (merge-after-join, like the execution paths).
+func ScatterExplain(parts []Partition, stmt *ExplainStmt, opts ExecOptions) (string, ScatterStats, error) {
+	sp, err := planScatter(parts, stmt.Stmt)
+	if err != nil {
+		return "", sp.stats, err
+	}
+	root := &obs.PlanNode{Name: "Gather", Detail: "on " + stmt.Stmt.Table}
+	root.AddExtra("partitions", "%d", sp.stats.Partitions)
+	root.AddExtra("scanned", "%d", sp.stats.Scanned)
+	root.AddExtra("pruned", "%d", sp.stats.Partitions-sp.stats.Scanned)
+
+	children := make([]*obs.PlanNode, len(sp.live))
+	if !stmt.Analyze {
+		for i, p := range sp.live {
+			child, err := Explain(p.DB, stmt.Stmt, opts)
+			if err != nil {
+				return "", sp.stats, err
+			}
+			children[i] = partitionPlanNode(i, p, child)
+		}
+		root.Children = children
+		return root.Render(), sp.stats, nil
+	}
+
+	traces := make([]*obs.QueryTrace, len(sp.live))
+	errs := make([]error, len(sp.live))
+	sem := make(chan struct{}, opts.workers())
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, p := range sp.live {
+		wg.Add(1)
+		go func(i int, p Partition) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			popts := opts
+			popts.Snapshot = nil // every partition reads its own snapshot
+			popts.Trace = nil    // per-member trace, not the caller's
+			traces[i], errs[i] = ExplainAnalyze(p.DB, stmt.Stmt, popts)
+		}(i, p)
+	}
+	wg.Wait()
+	root.Analyzed = true
+	root.Time = time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return "", sp.stats, err
+		}
+	}
+	sp.stats.PartRows = make([]int64, len(sp.live))
+	for i, tr := range traces {
+		children[i] = partitionPlanNode(i, sp.live[i], tr.Plan)
+		root.Rows += tr.Plan.Rows
+		root.Batches += tr.Plan.Batches
+		root.Pages += tr.Plan.Pages
+		root.Chunks += tr.Plan.Chunks
+		sp.stats.PartRows[i] = tr.Plan.Rows
+		sp.stats.RowsGathered += tr.Plan.Rows
+	}
+	root.Children = children
+	return root.Render(), sp.stats, nil
+}
+
+// partitionPlanNode labels one member's subtree with its key range; the
+// annotations mirror the member plan's root (metrics are inclusive).
+func partitionPlanNode(i int, p Partition, child *obs.PlanNode) *obs.PlanNode {
+	n := &obs.PlanNode{
+		Name:     "Partition",
+		Detail:   fmt.Sprintf("%d keys [%s, %s]", i, scatterKey(p.Lo), scatterKey(p.Hi)),
+		Children: []*obs.PlanNode{child},
+	}
+	if child.Analyzed {
+		n.Analyzed = true
+		n.Rows = child.Rows
+		n.Batches = child.Batches
+		n.Time = child.Time
+		n.Pages = child.Pages
+		n.Chunks = child.Chunks
+	}
+	return n
+}
+
+func scatterKey(k int64) string {
+	switch k {
+	case math.MinInt64:
+		return "-inf"
+	case math.MaxInt64:
+		return "+inf"
+	}
+	return fmt.Sprint(k)
 }
 
 // scatterAggregate fans the scan+filter+accumulate stage out per
@@ -191,9 +331,12 @@ func partitionPartial(db *engine.DB, stmt *SelectStmt, residual Expr, bounds key
 // goroutines — TOP included, a prefix per partition is a valid prefix
 // of the whole — and concatenates the materialized results in partition
 // order (clustered-key order), re-applying TOP to the gathered rows.
-func scatterSelect(live []Partition, stmt *SelectStmt, opts ExecOptions) (*Result, error) {
+// The second return is the per-partition gathered row count, in
+// partition order, assembled after the join.
+func scatterSelect(live []Partition, stmt *SelectStmt, opts ExecOptions) (*Result, []int64, error) {
 	popts := opts
 	popts.Snapshot = nil // every partition reads its own snapshot
+	popts.Trace = nil    // a shared trace cannot hold N partition plans
 	results := make([]*Result, len(live))
 	errs := make([]error, len(live))
 	sem := make(chan struct{}, opts.workers())
@@ -210,11 +353,13 @@ func scatterSelect(live []Partition, stmt *SelectStmt, opts ExecOptions) (*Resul
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
+	partRows := make([]int64, len(results))
 	out := &Result{}
-	for _, r := range results {
+	for i, r := range results {
+		partRows[i] = int64(len(r.Rows))
 		if out.Columns == nil {
 			out.Columns = r.Columns
 		}
@@ -230,7 +375,7 @@ func scatterSelect(live []Partition, stmt *SelectStmt, opts ExecOptions) (*Resul
 		// the projection names.
 		out.Columns = columnNames(stmt)
 	}
-	return out, nil
+	return out, partRows, nil
 }
 
 // columnNames derives result column names without executing (the

@@ -23,6 +23,9 @@ import (
 	"hash/crc32"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"sqlarray/internal/obs"
 )
 
 // LSN is a log sequence number: the logical byte offset of a record's
@@ -130,12 +133,27 @@ type Log struct {
 	syncing  bool
 	syncCond *sync.Cond
 
-	records      atomic.Uint64
-	bytesLogged  atomic.Uint64
-	syncs        atomic.Uint64
-	checkpoints  atomic.Uint64
-	segmentRolls atomic.Uint64
-	piggybacks   atomic.Uint64
+	records      obs.Counter
+	bytesLogged  obs.Counter
+	syncs        obs.Counter
+	checkpoints  obs.Counter
+	segmentRolls obs.Counter
+	piggybacks   obs.Counter
+	// syncLatency observes the wall time of each leader fsync (followers
+	// that piggyback are not observed — they paid no storage round trip).
+	syncLatency obs.Histogram
+}
+
+// RegisterMetrics attaches the log's counters to reg under the "wal."
+// prefix, including the leader-fsync latency histogram.
+func (l *Log) RegisterMetrics(reg *obs.Registry) {
+	reg.Attach("wal.records", &l.records)
+	reg.Attach("wal.bytes_logged", &l.bytesLogged)
+	reg.Attach("wal.syncs", &l.syncs)
+	reg.Attach("wal.checkpoints", &l.checkpoints)
+	reg.Attach("wal.segment_rolls", &l.segmentRolls)
+	reg.Attach("wal.group_commit_piggybacks", &l.piggybacks)
+	reg.AttachHistogram("wal.sync_latency", &l.syncLatency)
 }
 
 // Open opens (or initializes) a log over st, scanning existing segments
@@ -468,7 +486,9 @@ func (l *Log) syncLocked() error {
 	cur := l.cur
 	l.syncing = true
 	l.mu.Unlock()
+	syncStart := time.Now()
 	err := cur.Sync()
+	l.syncLatency.Observe(time.Since(syncStart))
 	l.mu.Lock()
 	l.syncing = false
 	if err == nil {
